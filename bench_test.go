@@ -1,0 +1,376 @@
+// Package pccsim's benchmark harness regenerates every table and figure of
+// the paper's evaluation (see DESIGN.md's experiment index). Each benchmark
+// runs the corresponding experiment driver end-to-end and reports the
+// headline metric of that artifact via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full pipeline and prints the reproduced numbers.
+// Benchmarks run at a reduced scale (with proportionally shrunken TLBs, see
+// Options.TLBDivisor) to stay minutes-fast; `cmd/pccsim` without -quick
+// regenerates the full-scale numbers recorded in EXPERIMENTS.md.
+package pccsim_test
+
+import (
+	"io"
+	"testing"
+
+	"pccsim/internal/experiments"
+	"pccsim/internal/metrics"
+	"pccsim/internal/ospolicy"
+	"pccsim/internal/vmm"
+	"pccsim/internal/workloads"
+)
+
+// benchOptions returns the benchmark-scale configuration.
+func benchOptions() experiments.Options {
+	o := experiments.QuickOptions(io.Discard)
+	o.Scale = 15
+	o.SynthAccesses = 600_000
+	o.SynthSizeScale = 0.04
+	o.Interval = 150_000
+	o.Budgets = []float64{0, 4, 25, 100}
+	return o
+}
+
+// BenchmarkTable1 regenerates the applications/inputs table.
+func BenchmarkTable1(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		infos, err := experiments.Table1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(infos) != 14 {
+			b.Fatalf("rows = %d", len(infos))
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the system-parameters table.
+func BenchmarkTable2(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the motivation figure: 4KB vs 2MB vs Linux THP
+// under 50% fragmentation, for all eight applications. Reports the geomean
+// all-2MB speedup (paper: ~1.3).
+func BenchmarkFig1(b *testing.B) {
+	o := benchOptions()
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s []float64
+		for _, r := range rows {
+			s = append(s, r.Speedup2M)
+		}
+		geo = metrics.Geomean(s)
+	}
+	b.ReportMetric(geo, "geomean-2MB-speedup")
+}
+
+// BenchmarkFig2 regenerates the reuse-distance characterization (BFS on
+// Kronecker). Reports the fraction of accesses landing on HUB pages.
+func BenchmarkFig2(b *testing.B) {
+	o := benchOptions()
+	var hubFrac float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(o, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hubFrac = float64(res.Summary.Accesses[1]) / float64(res.Summary.TotalAccesses())
+	}
+	b.ReportMetric(hubFrac, "HUB-access-fraction")
+}
+
+// BenchmarkFig5 regenerates the single-thread utility curves (PCC vs
+// HawkEye) for the three graph kernels. Reports PCC's and HawkEye's geomean
+// speedup at the mid budget point.
+func BenchmarkFig5(b *testing.B) {
+	o := benchOptions()
+	var pccMid, heMid float64
+	for i := 0; i < b.N; i++ {
+		apps, err := experiments.Fig5(o, []string{"BFS", "SSSP", "PR"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ps, hs []float64
+		for _, a := range apps {
+			// The 25%-budget point: at bench scale smaller budgets
+			// round below one 2MB region.
+			ps = append(ps, a.PCC.Points[2].Speedup)
+			hs = append(hs, a.HawkEye.Points[2].Speedup)
+		}
+		pccMid, heMid = metrics.Geomean(ps), metrics.Geomean(hs)
+	}
+	b.ReportMetric(pccMid, "PCC-speedup@25%")
+	b.ReportMetric(heMid, "HawkEye-speedup@25%")
+}
+
+// BenchmarkFig6 regenerates the PCC size sensitivity sweep. Reports the
+// 128-entry speedup relative to the 4-entry one for BFS (>1 means bigger
+// PCCs help, the paper's Fig 6 trend).
+func BenchmarkFig6(b *testing.B) {
+	o := benchOptions()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(o, []int{4, 16, 64, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[0].Speedup[3] / rows[0].Speedup[0]
+	}
+	b.ReportMetric(ratio, "BFS-128e-vs-4e")
+}
+
+// BenchmarkFig7 regenerates the 90%-fragmentation comparison. Reports the
+// geomean PCC-over-Linux advantage (paper: 1.16).
+func BenchmarkFig7(b *testing.B) {
+	o := benchOptions()
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(o, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var p, l []float64
+		for _, r := range rows {
+			p = append(p, r.PCC)
+			l = append(l, r.LinuxTHP)
+		}
+		adv = metrics.Geomean(p) / metrics.Geomean(l)
+	}
+	b.ReportMetric(adv, "PCC-vs-Linux@90%frag")
+}
+
+// BenchmarkFig8 regenerates the multithread utility comparison (2 threads
+// at bench scale). Reports the highest-frequency policy's geomean speedup
+// at full budget.
+func BenchmarkFig8(b *testing.B) {
+	o := benchOptions()
+	o.Budgets = []float64{0, 25, 100}
+	var hf float64
+	for i := 0; i < b.N; i++ {
+		apps, err := experiments.Fig8(o, []int{2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s []float64
+		for _, a := range apps {
+			s = append(s, a.HighestFreq.Points[len(a.HighestFreq.Points)-1].Speedup)
+		}
+		hf = metrics.Geomean(s)
+	}
+	b.ReportMetric(hf, "2-thread-HF-speedup")
+}
+
+// BenchmarkFig9 regenerates the multiprocess study (PR + mcf). Reports PR's
+// speedup at full shared budget under the highest-frequency policy.
+func BenchmarkFig9(b *testing.B) {
+	o := benchOptions()
+	o.Budgets = []float64{0, 25, 100}
+	var pr float64
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig9(o, "PR", "mcf")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.App == "PR" && s.Policy == "highest-freq" {
+				pr = s.Points[len(s.Points)-1].Speedup
+			}
+		}
+	}
+	b.ReportMetric(pr, "PR-corun-speedup")
+}
+
+// BenchmarkAblationReplacement sweeps the PCC replacement policy (§3.2.1).
+func BenchmarkAblationReplacement(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationReplacement(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationColdFilter toggles the accessed-bit cold-miss filter.
+func BenchmarkAblationColdFilter(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationColdFilter(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDecay toggles counter decay.
+func BenchmarkAblationDecay(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDecay(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationInterval sweeps the OS promotion interval (§3.3.1).
+func BenchmarkAblationInterval(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationInterval(o, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (accesses per
+// second through the TLB+walker+PCC pipeline), the simulator's own
+// performance figure.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	wl, err := workloads.Build(workloads.Spec{Name: "BFS", Scale: 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var accesses uint64
+	for i := 0; i < b.N; i++ {
+		cfg := vmm.DefaultConfig()
+		engine := ospolicy.NewPCCEngine(ospolicy.DefaultPCCEngineConfig())
+		m := vmm.NewMachine(cfg, engine)
+		p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
+		engine.Bind(0, p)
+		res := m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}})
+		accesses += res.Accesses
+	}
+	b.ReportMetric(float64(accesses)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkExtVictim regenerates the §5.4.1 victim-cache comparison.
+func BenchmarkExtVictim(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtVictimCache(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExt1G regenerates the §3.2.3 1GB promotion study and reports
+// the 1GB-over-2MB-only advantage.
+func BenchmarkExt1G(b *testing.B) {
+	o := benchOptions()
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ext1G(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv = res.With1G / res.With2MOnly
+	}
+	b.ReportMetric(adv, "1GB-vs-2MB-only")
+}
+
+// BenchmarkExtPhases regenerates the §3.3.3 phased-demotion study.
+func BenchmarkExtPhases(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtPhases(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtVirt regenerates the §5.4.3 virtualization study and reports
+// the coordinated-over-guest-only advantage.
+func BenchmarkExtVirt(b *testing.B) {
+	o := benchOptions()
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExtVirt(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv = res.Coordinated / res.GuestOnly
+	}
+	b.ReportMetric(adv, "coordinated-vs-guest-only")
+}
+
+// BenchmarkExtBloat regenerates the §2.1 memory-bloat comparison and
+// reports Linux's bloat in MB (PCC's is ~0 by design).
+func BenchmarkExtBloat(b *testing.B) {
+	o := benchOptions()
+	var bloatMB float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExtBloat(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bloatMB = float64(res.LinuxBloat) / (1 << 20)
+	}
+	b.ReportMetric(bloatMB, "linux-bloat-MB")
+}
+
+// BenchmarkExtPWC regenerates the page-walk-cache validation.
+func BenchmarkExtPWC(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtPWC(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtNUMA regenerates the NUMA-placement methodology study and
+// reports the interleave slowdown versus bound placement.
+func BenchmarkExtNUMA(b *testing.B) {
+	o := benchOptions()
+	var slow float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtNUMA(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow = rows[1].Slowdown
+	}
+	b.ReportMetric(slow, "interleave-slowdown")
+}
+
+// BenchmarkExtChar regenerates the all-apps reuse characterization.
+func BenchmarkExtChar(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtChar(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSummary regenerates the paper-vs-measured scoreboard and reports
+// how many headline claims hold.
+func BenchmarkSummary(b *testing.B) {
+	o := benchOptions()
+	var holds float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Summary(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		holds = 0
+		for _, r := range rows {
+			if r.Holds {
+				holds++
+			}
+		}
+	}
+	b.ReportMetric(holds, "claims-holding")
+}

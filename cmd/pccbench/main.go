@@ -1,0 +1,239 @@
+// Command pccbench runs a single custom simulation configuration and prints
+// the raw result — the sweep utility for exploring configurations beyond the
+// paper's figures.
+//
+//	pccbench -app PR -policy pcc -budget 4 -frag 0.5
+//	pccbench -app BFS -policy linux -frag 0.9 -threads 4
+//	pccbench -app canneal -policy hawkeye
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/ospolicy"
+	"pccsim/internal/physmem"
+	"pccsim/internal/trace"
+	"pccsim/internal/vmm"
+	"pccsim/internal/workloads"
+)
+
+func main() {
+	var (
+		app        = flag.String("app", "BFS", "workload name")
+		dataset    = flag.String("dataset", "kron", "graph dataset (kron|social|web)")
+		scale      = flag.Int("scale", 0, "graph scale")
+		sorted     = flag.Bool("sorted", false, "degree-based grouping")
+		policyName = flag.String("policy", "pcc", "base|ideal|pcc|pcc-rr|hawkeye|linux")
+		budget     = flag.Float64("budget", 0, "huge budget, % of footprint (0 = unlimited)")
+		frag       = flag.Float64("frag", 0, "fragmented fraction of physical memory")
+		threads    = flag.Int("threads", 1, "simulated cores")
+		interval   = flag.Uint64("interval", 2_000_000, "promotion interval (accesses)")
+		physGB     = flag.Float64("phys", 4, "physical memory (GB)")
+		pccSize    = flag.Int("pcc", 128, "2MB PCC entries")
+		demote     = flag.Bool("demote", false, "enable PCC-driven demotion")
+		victim     = flag.Bool("victim", false, "use the L2-eviction victim tracker instead of the PCC")
+		giga       = flag.Bool("1g", false, "enable 1GB PCC tracking and promotion")
+		seed       = flag.Int64("seed", 1, "fragmentation seed")
+		traceFile  = flag.String("trace", "", "replay an external trace file instead of a built-in workload (text or PCCTRC1 binary; VMAs inferred from the addresses)")
+		numaPolicy = flag.String("numa", "", "enable 2-node NUMA modeling: bind|interleave|local-first (default: off)")
+	)
+	flag.Parse()
+
+	var wl workloads.Workload
+	var err error
+	if *traceFile != "" {
+		wl, err = traceWorkload(*traceFile)
+	} else {
+		wl, err = buildWorkload(*app, *dataset, *scale, *sorted, *threads)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pccbench:", err)
+		os.Exit(1)
+	}
+
+	cfg := vmm.DefaultConfig()
+	cfg.Cores = *threads
+	cfg.Phys = physmem.Config{TotalBytes: uint64(*physGB * float64(1<<30)), MovableFillRatio: 0.5}
+	cfg.FragFrac = *frag
+	cfg.Seed = *seed
+	cfg.PromotionInterval = *interval
+	cfg.PCC2M.Entries = *pccSize
+	if *numaPolicy != "" {
+		cfg.NUMA = vmm.DefaultNUMAConfig()
+		switch *numaPolicy {
+		case "bind":
+			cfg.NUMA.Policy = vmm.NUMABind
+		case "interleave":
+			cfg.NUMA.Policy = vmm.NUMAInterleave
+		case "local-first":
+			cfg.NUMA.Policy = vmm.NUMALocalFirst
+			cfg.NUMA.LocalShare = 0.5
+		default:
+			fmt.Fprintf(os.Stderr, "pccbench: unknown numa policy %q\n", *numaPolicy)
+			os.Exit(1)
+		}
+	}
+
+	var policy vmm.Policy
+	var engine *ospolicy.PCCEngine
+	switch *policyName {
+	case "base":
+		policy, cfg.EnablePCC = ospolicy.Baseline{}, false
+	case "ideal":
+		policy, cfg.EnablePCC = ospolicy.AllHuge{}, false
+	case "pcc", "pcc-rr":
+		ec := ospolicy.DefaultPCCEngineConfig()
+		if *policyName == "pcc-rr" {
+			ec.Selection = ospolicy.RoundRobin
+		}
+		ec.EnableDemotion = *demote
+		if *giga {
+			ec.Giga = ospolicy.DefaultGiga1GConfig()
+			ec.Giga.Enable = true
+			cfg.Enable1G = true
+		}
+		engine = ospolicy.NewPCCEngine(ec)
+		policy, cfg.EnablePCC = engine, true
+		if *victim {
+			cfg.UseVictimTracker = true
+		}
+	case "hawkeye":
+		policy, cfg.EnablePCC = ospolicy.NewHawkEye(ospolicy.DefaultHawkEyeConfig()), false
+	case "linux":
+		policy, cfg.EnablePCC = ospolicy.NewLinuxTHP(ospolicy.DefaultLinuxTHPConfig()), false
+	default:
+		fmt.Fprintf(os.Stderr, "pccbench: unknown policy %q\n", *policyName)
+		os.Exit(1)
+	}
+
+	m := vmm.NewMachine(cfg, policy)
+	p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
+	if *budget > 0 && *budget < 100 {
+		p.MaxHugeBytes = uint64(*budget / 100 * float64(wl.Footprint()))
+	}
+	cores := make([]int, *threads)
+	for i := range cores {
+		cores[i] = i
+		if engine != nil {
+			engine.Bind(i, p)
+		}
+	}
+
+	res := m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: cores})
+
+	fmt.Printf("workload       %s (footprint %s)\n", wl.Name(), mem.HumanBytes(wl.Footprint()))
+	fmt.Printf("policy         %s  frag=%.0f%%  budget=%.0f%%  threads=%d\n",
+		policy.Name(), 100**frag, *budget, *threads)
+	fmt.Printf("accesses       %d\n", res.Accesses)
+	fmt.Printf("cycles         %.4g\n", res.Cycles)
+	fmt.Printf("PTW rate       %.3f%%\n", 100*res.PTWRate)
+	fmt.Printf("L1 miss rate   %.3f%%\n", 100*res.L1MissRate)
+	fmt.Printf("huge pages     %d (2MB), %d (1GB)\n", res.HugePages2M, res.HugePages1G)
+	fmt.Printf("promotions     %d   demotions %d\n", res.Promotions, res.Demotions)
+	fmt.Printf("stall cycles   %.4g   background %.4g\n", res.StallCycles, res.BackgroundCycles)
+	fmt.Printf("phys           %v\n", m.Phys())
+	fmt.Printf("bloat          %s (touched %s)\n",
+		mem.HumanBytes(p.BloatBytes()), mem.HumanBytes(p.TouchedBytes()))
+}
+
+// cpaWorkload attaches a base cycles-per-access to a SynthApp.
+type cpaWorkload struct {
+	*workloads.SynthApp
+	cpa float64
+}
+
+func (w cpaWorkload) BaseCPA() float64 { return w.cpa }
+
+// fileWorkload replays an external trace through the simulator: the VMAs
+// are inferred by scanning the file once for its 2MB-aligned address
+// extent per contiguous cluster.
+type fileWorkload struct {
+	path   string
+	name   string
+	ranges []mem.Range
+	bytes  uint64
+}
+
+func (w *fileWorkload) Name() string        { return w.name }
+func (w *fileWorkload) Footprint() uint64   { return w.bytes }
+func (w *fileWorkload) Ranges() []mem.Range { return w.ranges }
+func (w *fileWorkload) BaseCPA() float64    { return 18 }
+func (w *fileWorkload) Stream() trace.Stream {
+	fs, err := trace.OpenFile(w.path)
+	if err != nil {
+		// Stream construction cannot fail in the Workload contract; an
+		// unreadable file yields an empty stream (the pre-scan already
+		// validated it once).
+		return trace.Slice(nil)
+	}
+	return fs
+}
+
+// traceWorkload pre-scans path to derive VMAs: touched 2MB regions are
+// clustered into ranges, merging regions separated by <= 16MB of gap.
+func traceWorkload(path string) (workloads.Workload, error) {
+	fs, err := trace.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Close()
+	regions := map[mem.VirtAddr]bool{}
+	for {
+		a, ok := fs.Next()
+		if !ok {
+			break
+		}
+		regions[mem.PageBase(a.Addr, mem.Page2M)] = true
+	}
+	if err := fs.Err(); err != nil {
+		return nil, err
+	}
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("trace %s contains no accesses", path)
+	}
+	bases := make([]mem.VirtAddr, 0, len(regions))
+	for b := range regions {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+
+	const mergeGap = 16 << 20
+	var ranges []mem.Range
+	cur := mem.Range{Start: bases[0], End: bases[0] + mem.VirtAddr(mem.Page2M)}
+	for _, b := range bases[1:] {
+		if b <= cur.End+mergeGap {
+			cur.End = b + mem.VirtAddr(mem.Page2M)
+		} else {
+			ranges = append(ranges, cur)
+			cur = mem.Range{Start: b, End: b + mem.VirtAddr(mem.Page2M)}
+		}
+	}
+	ranges = append(ranges, cur)
+	var total uint64
+	for _, r := range ranges {
+		total += r.Len()
+	}
+	return &fileWorkload{path: path, name: "trace:" + path, ranges: ranges, bytes: total}, nil
+}
+
+// buildWorkload resolves -app, including the extension workloads that live
+// outside the paper's eight-application registry.
+func buildWorkload(app, dataset string, scale int, sorted bool, threads int) (workloads.Workload, error) {
+	switch app {
+	case "phased":
+		return cpaWorkload{workloads.Phased(workloads.DefaultPhasedParams()), 16}, nil
+	case "bigtable":
+		return cpaWorkload{workloads.BigTable(workloads.DefaultBigTableParams()), 16}, nil
+	case "sparse":
+		return cpaWorkload{workloads.Sparse(workloads.DefaultSparseParams()), 20}, nil
+	default:
+		return workloads.Build(workloads.Spec{
+			Name: app, Dataset: workloads.GraphDataset(dataset),
+			Scale: scale, Sorted: sorted, Threads: threads,
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Command pccsim regenerates the paper's tables and figures from the
+// simulator. Each -exp value corresponds to one artifact of the evaluation
+// (see DESIGN.md's experiment index):
+//
+//	pccsim -exp list                 # show available experiments
+//	pccsim -exp fig5                 # single-thread utility curves
+//	pccsim -exp fig7 -scale 19       # 90%-fragmentation comparison
+//	pccsim -exp all -quick           # everything, CI-sized
+//
+// The -quick flag shrinks workloads to seconds-per-experiment; -full runs
+// the three-dataset geomean configuration the paper uses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pccsim/internal/experiments"
+	"pccsim/internal/workloads"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "list", "experiment id, comma list, or 'all'")
+		quick    = flag.Bool("quick", false, "CI-sized workloads (seconds per experiment)")
+		full     = flag.Bool("full", false, "all three graph datasets (paper's 6-dataset geomean)")
+		scale    = flag.Int("scale", 0, "override graph scale (2^scale vertices)")
+		interval = flag.Uint64("interval", 0, "override promotion interval (accesses)")
+		accesses = flag.Uint64("accesses", 0, "override synthetic app stream length")
+		seed     = flag.Int64("seed", 0, "override fragmentation seed")
+		plots    = flag.String("plots", "", "also write SVG figures into this directory")
+	)
+	flag.Parse()
+
+	o := experiments.DefaultOptions(os.Stdout)
+	if *quick {
+		o = experiments.QuickOptions(os.Stdout)
+	}
+	if *full {
+		o = experiments.FullOptions(os.Stdout)
+	}
+	if *scale > 0 {
+		o.Scale = *scale
+	}
+	if *interval > 0 {
+		o.Interval = *interval
+	}
+	if *accesses > 0 {
+		o.SynthAccesses = *accesses
+	}
+	if *seed != 0 {
+		o.Seed = *seed
+	}
+	o.PlotDir = *plots
+
+	names := strings.Split(*exp, ",")
+	if *exp == "list" {
+		fmt.Println("available experiments:")
+		for _, n := range experiments.Names() {
+			fmt.Println("  ", n)
+		}
+		fmt.Println("\nworkloads:", strings.Join(workloads.AppNames(), ", "))
+		return
+	}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		start := time.Now()
+		if err := experiments.Run(name, o); err != nil {
+			fmt.Fprintf(os.Stderr, "pccsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

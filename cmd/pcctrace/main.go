@@ -1,0 +1,96 @@
+// Command pcctrace drives the paper's two-step evaluation methodology (§4)
+// as a standalone tool:
+//
+//	pcctrace -mode record -app BFS -out bfs_cands.jsonl
+//	pcctrace -mode replay -app BFS -in bfs_cands.jsonl
+//
+// Record runs the live TLB+PCC simulation with the OS promotion engine and
+// writes every promotion (region + simulated timestamp) to a JSON-lines
+// candidate trace. Replay runs the same workload on a machine WITHOUT PCC
+// hardware, performing the recorded promotions at the recorded execution
+// points — the analogue of the paper's real-system step consuming the
+// offline Pin-simulation trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pccsim/internal/ctrace"
+	"pccsim/internal/ospolicy"
+	"pccsim/internal/vmm"
+	"pccsim/internal/workloads"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "record", "record | replay")
+		app      = flag.String("app", "BFS", "workload name")
+		dataset  = flag.String("dataset", "kron", "graph dataset")
+		scale    = flag.Int("scale", 0, "graph scale")
+		sorted   = flag.Bool("sorted", false, "degree-based grouping")
+		out      = flag.String("out", "candidates.jsonl", "trace output path (record)")
+		in       = flag.String("in", "candidates.jsonl", "trace input path (replay)")
+		interval = flag.Uint64("interval", 2_000_000, "promotion interval (accesses)")
+		budget   = flag.Float64("budget", 0, "huge budget %% of footprint (record)")
+	)
+	flag.Parse()
+
+	wl, err := workloads.Build(workloads.Spec{
+		Name: *app, Dataset: workloads.GraphDataset(*dataset), Scale: *scale, Sorted: *sorted,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *mode {
+	case "record":
+		cfg := vmm.DefaultConfig()
+		cfg.EnablePCC = true
+		cfg.PromotionInterval = *interval
+		engine := ospolicy.NewPCCEngine(ospolicy.DefaultPCCEngineConfig())
+		m := vmm.NewMachine(cfg, engine)
+		p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
+		if *budget > 0 && *budget < 100 {
+			p.MaxHugeBytes = uint64(*budget / 100 * float64(wl.Footprint()))
+		}
+		engine.Bind(0, p)
+		res := m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}})
+		tr := ctrace.FromMachine(m)
+		if err := tr.Save(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d candidate promotions to %s\n", len(tr.Events), *out)
+		fmt.Printf("live run: cycles=%.4g PTW=%.3f%% huge=%d\n",
+			res.Cycles, 100*res.PTWRate, res.HugePages2M)
+
+	case "replay":
+		tr, err := ctrace.Load(*in)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := vmm.DefaultConfig()
+		cfg.EnablePCC = false // the replayed system has no PCC hardware
+		cfg.PromotionInterval = *interval / 100
+		if cfg.PromotionInterval == 0 {
+			cfg.PromotionInterval = 1000
+		}
+		replay := ctrace.NewReplayPolicy(tr)
+		m := vmm.NewMachine(cfg, replay)
+		p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
+		res := m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}})
+		fmt.Printf("replayed %d of %d events from %s\n",
+			len(tr.Events)-replay.Remaining(), len(tr.Events), *in)
+		fmt.Printf("replay run: cycles=%.4g PTW=%.3f%% huge=%d\n",
+			res.Cycles, 100*res.PTWRate, res.HugePages2M)
+
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcctrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command tracechar runs the Fig. 2 page reuse-distance characterization on
+// any workload and emits the per-page scatter data (4KB reuse distance vs
+// 2MB-region reuse distance, with the TLB-friendly / HUB / low-reuse class),
+// in TSV form suitable for plotting.
+//
+//	tracechar -app BFS -scale 17 > bfs_reuse.tsv
+//	tracechar -app canneal -max 5000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pccsim/internal/trace"
+	"pccsim/internal/workloads"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "BFS", "workload name")
+		dataset = flag.String("dataset", "kron", "graph dataset (kron|social|web)")
+		scale   = flag.Int("scale", 0, "graph scale (2^scale vertices)")
+		sorted  = flag.Bool("sorted", false, "apply degree-based grouping")
+		maxPts  = flag.Int("max", 0, "max scatter points (0 = all pages)")
+		summary = flag.Bool("summary", false, "print class summary only")
+	)
+	flag.Parse()
+
+	wl, err := workloads.Build(workloads.Spec{
+		Name:     *app,
+		Dataset:  workloads.GraphDataset(*dataset),
+		Scale:    *scale,
+		Sorted:   *sorted,
+		SkipInit: true, // characterize the steady-state kernel only
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracechar:", err)
+		os.Exit(1)
+	}
+
+	an := trace.NewReuseAnalyzer()
+	n := an.Drain(wl.Stream())
+	results := an.Results()
+	sum := trace.Summarize(results)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	fmt.Fprintf(w, "# app=%s accesses=%d pages=%d threshold=%d\n",
+		wl.Name(), n, len(results), trace.ClassifyThreshold)
+	for _, c := range []trace.PageClass{trace.TLBFriendly, trace.HUB, trace.LowReuse} {
+		fmt.Fprintf(w, "# class %-14s pages=%-10d accesses=%d\n", c, sum.Pages[c], sum.Accesses[c])
+	}
+	if *summary {
+		return
+	}
+	stride := 1
+	if *maxPts > 0 && len(results) > *maxPts {
+		stride = len(results) / *maxPts
+	}
+	fmt.Fprintln(w, "page\tdist4k\tdist2m\taccesses\tclass")
+	for i := 0; i < len(results); i += stride {
+		r := results[i]
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%d\t%s\n", r.Page, r.Dist4K, r.Dist2M, r.Accesses, r.Class)
+	}
+}

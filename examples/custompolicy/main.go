@@ -1,0 +1,91 @@
+// Custom policy: implement your own OS huge page promotion strategy against
+// the vmm.Policy interface and compare it with the paper's PCC engine.
+//
+// The strategy here ("EagerTopOne") promotes exactly one region per
+// interval — the single hottest PCC candidate — modelling an extremely
+// conservative OS that minimizes promotion work. It demonstrates the whole
+// extension surface a policy gets: fault-time page size decisions, periodic
+// ticks, PCC dumps, and the machine's promotion/demotion verbs.
+package main
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/ospolicy"
+	"pccsim/internal/vmm"
+	"pccsim/internal/workloads"
+)
+
+// eagerTopOne promotes the hottest candidate from core 0's PCC each tick.
+type eagerTopOne struct {
+	proc *vmm.Process
+}
+
+// Name identifies the policy in reports.
+func (e *eagerTopOne) Name() string { return "EagerTopOne" }
+
+// OnFault keeps fault-time allocation at base pages; all huge pages come
+// from informed promotion, like the paper's design.
+func (e *eagerTopOne) OnFault(*vmm.Machine, *vmm.Process, mem.VirtAddr) mem.PageSize {
+	return mem.Page4K
+}
+
+// Tick reads the ranked candidate dump and promotes only the top entry.
+func (e *eagerTopOne) Tick(m *vmm.Machine) {
+	core := m.Core(0)
+	if core.PCC2M == nil || e.proc == nil {
+		return
+	}
+	for _, cand := range core.PCC2M.Dump() {
+		if e.proc.IsHuge2M(cand.Region.Base) {
+			continue
+		}
+		// Promote the hottest not-yet-huge region; stop after one.
+		if err := m.Promote2M(e.proc, cand.Region.Base); err == nil {
+			return
+		}
+	}
+}
+
+func main() {
+	wl, err := workloads.Build(workloads.Spec{
+		Name:    "BFS",
+		Dataset: workloads.DatasetKron,
+		Scale:   16,
+		Sorted:  true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%-20s %12s %8s %6s %s\n", "policy", "cycles", "PTW%", "huge", "speedup")
+	base := simulate(wl, ospolicy.Baseline{}, false, nil)
+	fmt.Printf("%-20s %12.0f %7.2f%% %6d %7s\n", "4KB", base.Cycles, 100*base.PTWRate, base.HugePages2M, "1.00x")
+
+	custom := &eagerTopOne{}
+	res := simulate(wl, custom, true, func(m *vmm.Machine, p *vmm.Process) { custom.proc = p })
+	fmt.Printf("%-20s %12.0f %7.2f%% %6d %6.2fx\n", custom.Name(), res.Cycles, 100*res.PTWRate,
+		res.HugePages2M, base.Cycles/res.Cycles)
+
+	engine := ospolicy.NewPCCEngine(ospolicy.DefaultPCCEngineConfig())
+	res = simulate(wl, engine, true, func(m *vmm.Machine, p *vmm.Process) { engine.Bind(0, p) })
+	fmt.Printf("%-20s %12.0f %7.2f%% %6d %6.2fx\n", engine.Name(), res.Cycles, 100*res.PTWRate,
+		res.HugePages2M, base.Cycles/res.Cycles)
+}
+
+// simulate runs wl under the policy on a fresh machine; bind (optional)
+// lets the policy learn the process once it exists.
+func simulate(wl workloads.Workload, policy vmm.Policy, enablePCC bool,
+	bind func(*vmm.Machine, *vmm.Process)) vmm.RunResult {
+
+	cfg := vmm.DefaultConfig()
+	cfg.EnablePCC = enablePCC
+	cfg.PromotionInterval = 400_000
+	m := vmm.NewMachine(cfg, policy)
+	p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
+	if bind != nil {
+		bind(m, p)
+	}
+	return m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}})
+}

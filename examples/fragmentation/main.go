@@ -1,0 +1,74 @@
+// Fragmentation study: reproduce the paper's headline scenario on one
+// workload — when physical memory is heavily fragmented and huge pages are
+// scarce, informed candidate selection (PCC) keeps most of the huge page
+// benefit while Linux's greedy fault-time policy burns the scarce blocks on
+// streamed data and collapses to baseline performance.
+package main
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/ospolicy"
+	"pccsim/internal/physmem"
+	"pccsim/internal/vmm"
+	"pccsim/internal/workloads"
+)
+
+func main() {
+	wl, err := workloads.Build(workloads.Spec{
+		Name:    "BFS",
+		Dataset: workloads.DatasetKron,
+		Scale:   17,
+		Sorted:  true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// 512MB of physical memory; the workload needs a fair share of it.
+	phys := physmem.Config{TotalBytes: 512 << 20, MovableFillRatio: 0.5}
+	fmt.Printf("BFS footprint %s, physical memory %s\n\n",
+		mem.HumanBytes(wl.Footprint()), mem.HumanBytes(phys.TotalBytes))
+
+	fmt.Printf("%-28s %10s %8s %8s %s\n", "configuration", "cycles", "PTW%", "speedup", "huge pages")
+	base := run(wl, phys, 0, func() vmm.Policy { return ospolicy.Baseline{} }, false)
+	report("4KB baseline", base, base)
+
+	for _, frag := range []float64{0.5, 0.9} {
+		linux := run(wl, phys, frag, func() vmm.Policy {
+			return ospolicy.NewLinuxTHP(ospolicy.DefaultLinuxTHPConfig())
+		}, false)
+		report(fmt.Sprintf("Linux THP, %2.0f%% fragmented", 100*frag), linux, base)
+
+		pcc := run(wl, phys, frag, func() vmm.Policy {
+			return ospolicy.NewPCCEngine(ospolicy.DefaultPCCEngineConfig())
+		}, true)
+		report(fmt.Sprintf("PCC,       %2.0f%% fragmented", 100*frag), pcc, base)
+	}
+
+	ideal := run(wl, phys, 0, func() vmm.Policy { return ospolicy.AllHuge{} }, false)
+	report("all-2MB ideal (no pressure)", ideal, base)
+}
+
+func run(wl workloads.Workload, phys physmem.Config, frag float64,
+	mkPolicy func() vmm.Policy, enablePCC bool) vmm.RunResult {
+
+	cfg := vmm.DefaultConfig()
+	cfg.Phys = phys
+	cfg.FragFrac = frag
+	cfg.EnablePCC = enablePCC
+	cfg.PromotionInterval = 500_000
+	policy := mkPolicy()
+	m := vmm.NewMachine(cfg, policy)
+	p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
+	if engine, ok := policy.(*ospolicy.PCCEngine); ok {
+		engine.Bind(0, p)
+	}
+	return m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}})
+}
+
+func report(name string, r, base vmm.RunResult) {
+	fmt.Printf("%-28s %10.3g %7.2f%% %7.2fx %6d\n",
+		name, r.Cycles, 100*r.PTWRate, base.Cycles/r.Cycles, r.HugePages2M)
+}

@@ -1,0 +1,80 @@
+// Multi-tenant study: two processes — TLB-sensitive PageRank and
+// TLB-insensitive mcf — share one machine and a limited huge page budget
+// (§5.3 of the paper). The OS merges candidates from both cores' PCCs
+// either by highest frequency (biases the TLB-sensitive tenant) or
+// round-robin (fair). The frequency policy wins when exactly one tenant is
+// TLB-sensitive, because the other's PCC holds little of value.
+package main
+
+import (
+	"fmt"
+
+	"pccsim/internal/ospolicy"
+	"pccsim/internal/vmm"
+	"pccsim/internal/workloads"
+)
+
+func main() {
+	prSpec := workloads.Spec{Name: "PR", Dataset: workloads.DatasetKron, Scale: 16, Sorted: true}
+	mcfSpec := workloads.Spec{Name: "mcf", SizeScale: 0.25, Accesses: 6_000_000}
+
+	fmt.Println("co-running PR (TLB-sensitive) and mcf (insensitive), shared huge budget")
+	fmt.Printf("%-14s %-12s %10s %10s %8s %8s\n",
+		"budget", "policy", "PR cycles", "mcf cycles", "PR #THP", "mcf #THP")
+
+	// Baseline co-run for speedup reference.
+	basePR, baseMcf, _, _ := corun(prSpec, mcfSpec, nil, 0)
+
+	for _, budget := range []float64{5, 20, 100} {
+		for _, sel := range []ospolicy.SelectionPolicy{ospolicy.HighestFrequency, ospolicy.RoundRobin} {
+			pr, mcf, prTHP, mcfTHP := corun(prSpec, mcfSpec, &sel, budget)
+			fmt.Printf("%-14s %-12s %9.3g %9.3g %8d %8d   (PR %.2fx, mcf %.2fx)\n",
+				fmt.Sprintf("%.0f%% combined", budget), sel, pr, mcf, prTHP, mcfTHP,
+				basePR/pr, baseMcf/mcf)
+		}
+	}
+}
+
+// corun simulates the two workloads on two cores; sel == nil means the 4KB
+// baseline. Returns per-process runtimes and huge page counts.
+func corun(a, b workloads.Spec, sel *ospolicy.SelectionPolicy, budgetPct float64) (float64, float64, int, int) {
+	wa, err := workloads.Build(a)
+	if err != nil {
+		panic(err)
+	}
+	wb, err := workloads.Build(b)
+	if err != nil {
+		panic(err)
+	}
+
+	cfg := vmm.DefaultConfig()
+	cfg.Cores = 2
+	cfg.PromotionInterval = 500_000
+	var policy vmm.Policy = ospolicy.Baseline{}
+	var engine *ospolicy.PCCEngine
+	if sel != nil {
+		cfg.EnablePCC = true
+		ec := ospolicy.DefaultPCCEngineConfig()
+		ec.Selection = *sel
+		engine = ospolicy.NewPCCEngine(ec)
+		policy = engine
+		if budgetPct > 0 && budgetPct < 100 {
+			combined := float64(wa.Footprint() + wb.Footprint())
+			cfg.MaxHugeBytesTotal = uint64(budgetPct / 100 * combined)
+		}
+	}
+
+	m := vmm.NewMachine(cfg, policy)
+	pa := m.AddProcess(wa.Name(), wa.Ranges(), wa.BaseCPA())
+	pb := m.AddProcess(wb.Name(), wb.Ranges(), wb.BaseCPA())
+	if engine != nil {
+		engine.Bind(0, pa)
+		engine.Bind(1, pb)
+	}
+	res := m.Run(
+		&vmm.Job{Proc: pa, Stream: wa.Stream(), Cores: []int{0}},
+		&vmm.Job{Proc: pb, Stream: wb.Stream(), Cores: []int{1}},
+	)
+	return res.PerProc[0].RuntimeCycles, res.PerProc[1].RuntimeCycles,
+		res.PerProc[0].HugePages2M, res.PerProc[1].HugePages2M
+}

@@ -1,0 +1,66 @@
+// Trace replay: the paper's two-step methodology through the library API.
+// Step one runs the live TLB+PCC simulation and records the candidate trace
+// (which regions were promoted, when). Step two builds a machine WITHOUT
+// PCC hardware and replays the recorded promotions at the recorded
+// execution points, reproducing the live run's behaviour — the in-simulator
+// analogue of feeding a Pin-captured candidate trace to a real kernel.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pccsim/internal/ctrace"
+	"pccsim/internal/ospolicy"
+	"pccsim/internal/vmm"
+	"pccsim/internal/workloads"
+)
+
+func main() {
+	wl, err := workloads.Build(workloads.Spec{
+		Name:    "BFS",
+		Dataset: workloads.DatasetKron,
+		Scale:   16,
+		Sorted:  true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Step one: live simulation with PCC hardware; record the candidates.
+	liveCfg := vmm.DefaultConfig()
+	liveCfg.EnablePCC = true
+	liveCfg.PromotionInterval = 400_000
+	engine := ospolicy.NewPCCEngine(ospolicy.DefaultPCCEngineConfig())
+	live := vmm.NewMachine(liveCfg, engine)
+	lp := live.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
+	engine.Bind(0, lp)
+	liveRes := live.Run(&vmm.Job{Proc: lp, Stream: wl.Stream(), Cores: []int{0}})
+
+	tracePath := filepath.Join(os.TempDir(), "bfs_candidates.jsonl")
+	tr := ctrace.FromMachine(live)
+	if err := tr.Save(tracePath); err != nil {
+		panic(err)
+	}
+	fmt.Printf("step 1 (live PCC): %.0f cycles, %.2f%% PTW, %d promotions -> %s\n",
+		liveRes.Cycles, 100*liveRes.PTWRate, liveRes.Promotions, tracePath)
+
+	// Step two: replay on a machine with no PCC hardware.
+	loaded, err := ctrace.Load(tracePath)
+	if err != nil {
+		panic(err)
+	}
+	replayCfg := vmm.DefaultConfig()
+	replayCfg.EnablePCC = false
+	replayCfg.PromotionInterval = 10_000 // fine-grained replay timing
+	replay := ctrace.NewReplayPolicy(loaded)
+	m := vmm.NewMachine(replayCfg, replay)
+	rp := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
+	replayRes := m.Run(&vmm.Job{Proc: rp, Stream: wl.Stream(), Cores: []int{0}})
+
+	fmt.Printf("step 2 (replay):   %.0f cycles, %.2f%% PTW, %d huge pages (%d events unfired)\n",
+		replayRes.Cycles, 100*replayRes.PTWRate, replayRes.HugePages2M, replay.Remaining())
+	fmt.Printf("divergence: %.2f%% in cycles\n",
+		100*(replayRes.Cycles-liveRes.Cycles)/liveRes.Cycles)
+}

@@ -1,0 +1,3 @@
+module pccsim
+
+go 1.22

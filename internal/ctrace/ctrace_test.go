@@ -1,0 +1,142 @@
+package ctrace
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/ospolicy"
+	"pccsim/internal/physmem"
+	"pccsim/internal/trace"
+	"pccsim/internal/vmm"
+)
+
+func testVMA(nRegions int) []mem.Range {
+	start := mem.VirtAddr(48 << 20)
+	return []mem.Range{{Start: start, End: start + mem.VirtAddr(nRegions)<<21}}
+}
+
+func hotStream(r mem.Range, n int) trace.Stream {
+	pages := int(r.Len() >> 12)
+	var acc []trace.Access
+	p := 0
+	for i := 0; i < n; i++ {
+		acc = append(acc, trace.Access{Addr: r.Start + mem.VirtAddr(p)<<12})
+		p = (p + 3) % pages
+	}
+	return trace.Slice(acc)
+}
+
+func liveConfig() vmm.Config {
+	cfg := vmm.DefaultConfig()
+	cfg.Phys = physmem.Config{TotalBytes: 64 << 21}
+	cfg.PromotionInterval = 10_000
+	cfg.EnablePCC = true
+	return cfg
+}
+
+// runLive performs the paper's step one: live PCC simulation producing a
+// candidate trace.
+func runLive(t *testing.T) (*Trace, vmm.RunResult) {
+	t.Helper()
+	engine := ospolicy.NewPCCEngine(ospolicy.DefaultPCCEngineConfig())
+	m := vmm.NewMachine(liveConfig(), engine)
+	p := m.AddProcess("wl", testVMA(8), 10)
+	engine.Bind(0, p)
+	res := m.Run(&vmm.Job{Proc: p, Stream: hotStream(p.Ranges()[0], 120_000)})
+	if res.Promotions == 0 {
+		t.Fatal("live run must promote")
+	}
+	return FromMachine(m), res
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	tr, _ := runLive(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("events %d != %d", len(back.Events), len(tr.Events))
+	}
+	for i := range back.Events {
+		if back.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, back.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	tr, _ := runLive(t)
+	path := filepath.Join(t.TempDir(), "cands.jsonl")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatal("load must round-trip")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestReplayReproducesLiveRun is the methodology check: replaying the
+// candidate trace on a fresh machine (the paper's step two) must promote
+// the same regions and land within a small tolerance of the live run's
+// cycle count and walk rate.
+func TestReplayReproducesLiveRun(t *testing.T) {
+	tr, live := runLive(t)
+
+	replay := NewReplayPolicy(tr)
+	cfg := liveConfig()
+	cfg.EnablePCC = false        // step two has no PCC hardware
+	cfg.PromotionInterval = 1000 // fine-grained replay timing
+	m := vmm.NewMachine(cfg, replay)
+	p := m.AddProcess("wl", testVMA(8), 10)
+	res := m.Run(&vmm.Job{Proc: p, Stream: hotStream(p.Ranges()[0], 120_000)})
+
+	if res.HugePages2M != live.HugePages2M {
+		t.Errorf("replay huge pages = %d, live = %d", res.HugePages2M, live.HugePages2M)
+	}
+	if replay.Remaining() != 0 {
+		t.Errorf("%d trace events never fired", replay.Remaining())
+	}
+	// Cycle counts differ slightly (replay ticks are finer; promotion
+	// stalls shift), but must agree within 5%.
+	if d := math.Abs(res.Cycles-live.Cycles) / live.Cycles; d > 0.05 {
+		t.Errorf("replay cycles diverge %.1f%% from live", 100*d)
+	}
+	if d := math.Abs(res.PTWRate - live.PTWRate); d > 0.02 {
+		t.Errorf("replay PTW %.4f vs live %.4f", res.PTWRate, live.PTWRate)
+	}
+}
+
+func TestReplaySkipsUnknownProcess(t *testing.T) {
+	tr := &Trace{Events: []vmm.PromotionEvent{{AtAccess: 1, ProcID: 99, Base: 48 << 20}}}
+	replay := NewReplayPolicy(tr)
+	cfg := liveConfig()
+	cfg.EnablePCC = false
+	cfg.PromotionInterval = 100
+	m := vmm.NewMachine(cfg, replay)
+	p := m.AddProcess("wl", testVMA(1), 10)
+	m.Run(&vmm.Job{Proc: p, Stream: hotStream(p.Ranges()[0], 1000)})
+	if replay.Remaining() != 0 {
+		t.Error("unknown-process events must be consumed, not wedge the replay")
+	}
+	if p.HugePages2M() != 0 {
+		t.Error("nothing should have been promoted")
+	}
+}

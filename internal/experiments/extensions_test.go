@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestExtVictimCache(t *testing.T) {
+	o, _ := tiny()
+	rows, err := ExtVictimCache(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PCC <= 0 || r.Victim <= 0 {
+			t.Errorf("%s: degenerate speedups %f/%f", r.App, r.PCC, r.Victim)
+		}
+		// The victim tracker must never strictly dominate the PCC; at
+		// this scale parity is acceptable, superiority is not.
+		if r.Victim > r.PCC*1.1 {
+			t.Errorf("%s: victim tracker (%f) beats PCC (%f) by >10%%",
+				r.App, r.Victim, r.PCC)
+		}
+	}
+}
+
+func TestExt1G(t *testing.T) {
+	o, _ := tiny()
+	res, err := Ext1G(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages1G == 0 {
+		t.Error("1GB promotion must occur on the spread table")
+	}
+	if res.With1G <= res.With2MOnly {
+		t.Errorf("1GB pages (%f) must beat 2MB-only (%f) on the uniform table",
+			res.With1G, res.With2MOnly)
+	}
+}
+
+func TestExtPhases(t *testing.T) {
+	o, _ := tiny()
+	res, err := ExtPhases(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Demotions == 0 {
+		t.Error("the phase change must trigger demotions")
+	}
+	if res.WithDemote > res.NoDemote*1.02 {
+		t.Errorf("demotion must not hurt: %f vs %f", res.WithDemote, res.NoDemote)
+	}
+}
+
+func TestExtPWC(t *testing.T) {
+	o, _ := tiny()
+	rows, err := ExtPWC(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// refs/walk must be between 1 (fully cached upper levels) and 4
+		// (cold full walks).
+		if r.RefsPerWalk < 1 || r.RefsPerWalk > 4 {
+			t.Errorf("%s: refs/walk = %f out of [1,4]", r.App, r.RefsPerWalk)
+		}
+		if r.PWCHitRate < 0 || r.PWCHitRate > 1 {
+			t.Errorf("%s: hit rate = %f", r.App, r.PWCHitRate)
+		}
+	}
+}
+
+func TestExtRegistryEntries(t *testing.T) {
+	for _, name := range []string{"ext-victim", "ext-1g", "ext-phases", "ext-pwc"} {
+		if _, ok := Registry[name]; !ok {
+			t.Errorf("missing extension experiment %q", name)
+		}
+	}
+}
+
+func TestExtVirt(t *testing.T) {
+	o, _ := tiny()
+	res, err := ExtVirt(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §5.4.3 ordering: one-sided promotion leaves the TLB caching
+	// 4KB combined entries (only the walk shortens); coordination wins.
+	if res.Coordinated <= res.GuestOnly || res.Coordinated <= res.HostOnly {
+		t.Errorf("coordinated (%f) must beat one-sided (%f / %f)",
+			res.Coordinated, res.GuestOnly, res.HostOnly)
+	}
+	if res.CoordPTW > res.BasePTW*0.1 {
+		t.Errorf("coordinated PTW (%f) must collapse vs base (%f)", res.CoordPTW, res.BasePTW)
+	}
+	if res.NestedRefs != 24 {
+		t.Errorf("4K/4K nested refs/walk = %f, want 24", res.NestedRefs)
+	}
+}
+
+func TestExtBloat(t *testing.T) {
+	o, _ := tiny()
+	res, err := ExtBloat(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy THP must bloat dramatically more than PCC promotion on the
+	// lazily-populated arena — the §2.1 problem the PCC sidesteps.
+	if res.PCCBloat*4 > res.LinuxBloat {
+		t.Errorf("PCC bloat (%d) must be far below Linux bloat (%d)",
+			res.PCCBloat, res.LinuxBloat)
+	}
+	if res.PCCSpeedup <= 1.0 {
+		t.Errorf("PCC must still speed up the hot core: %f", res.PCCSpeedup)
+	}
+}
+
+func TestSummaryScoreboard(t *testing.T) {
+	o, buf := tiny()
+	rows, err := Summary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Holds {
+			t.Errorf("claim %q did not hold: paper %s, measured %s",
+				r.Claim, r.Paper, r.Measured)
+		}
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("scoreboard")) {
+		t.Error("report must render")
+	}
+}
+
+func TestExtNUMA(t *testing.T) {
+	o, _ := tiny()
+	rows, err := ExtNUMA(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].RemoteShare != 0 {
+		t.Errorf("bound placement remote share = %f", rows[0].RemoteShare)
+	}
+	if rows[1].Slowdown <= 1.0 || rows[2].Slowdown <= 1.0 {
+		t.Errorf("unbound placements must slow down: %f / %f",
+			rows[1].Slowdown, rows[2].Slowdown)
+	}
+}
+
+func TestExtChar(t *testing.T) {
+	o, _ := tiny()
+	rows, err := ExtChar(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		var ps, as float64
+		for c := 0; c < 3; c++ {
+			ps += r.PageShare[c]
+			as += r.AccessShare[c]
+		}
+		if ps < 0.999 || ps > 1.001 || as < 0.999 || as > 1.001 {
+			t.Errorf("%s: shares must sum to 1 (pages %f, accesses %f)", r.App, ps, as)
+		}
+	}
+}

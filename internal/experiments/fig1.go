@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"pccsim/internal/metrics"
+	"pccsim/internal/plot"
+)
+
+// Fig1Row is one application's motivation-figure data: TLB behaviour and
+// speedup under all-4KB, all-2MB, and Linux THP with 50% fragmentation.
+type Fig1Row struct {
+	App string
+	// TLBMiss4K/2M/Linux are L1-TLB miss rates (the paper's "TLB Miss %").
+	TLBMiss4K    float64
+	TLBMiss2M    float64
+	TLBMissLinux float64
+	// Speedup2M and SpeedupLinux are runtime speedups over the 4KB
+	// baseline (baseline speedup is 1.0 by construction).
+	Speedup2M    float64
+	SpeedupLinux float64
+}
+
+// Fig1 reproduces Figure 1: for each of the eight applications, TLB miss
+// rate and speedup under 100% 4KB pages, 100% 2MB pages, and Linux's greedy
+// THP policy with 50% of memory fragmented.
+func Fig1(o Options) ([]Fig1Row, error) {
+	var rows []Fig1Row
+	bcache := newBaselineCache()
+	for _, app := range AppOrder(o) {
+		base := o.runApp(app, runCfg{kind: polBaseline}, bcache)
+		ideal := o.runApp(app, runCfg{kind: polIdeal}, bcache)
+		linux := o.runApp(app, runCfg{kind: polLinux, frag: 0.5}, bcache)
+		rows = append(rows, Fig1Row{
+			App:          app,
+			TLBMiss4K:    base.L1Miss,
+			TLBMiss2M:    ideal.L1Miss,
+			TLBMissLinux: linux.L1Miss,
+			Speedup2M:    ideal.Speedup,
+			SpeedupLinux: linux.Speedup,
+		})
+	}
+
+	t1 := metrics.NewTable("App", "TLBMiss% 4KB", "TLBMiss% 2MB", "TLBMiss% LinuxTHP(50%frag)")
+	t2 := metrics.NewTable("App", "Speedup 4KB", "Speedup 2MB", "Speedup LinuxTHP(50%frag)")
+	var s2m []float64
+	for _, r := range rows {
+		t1.AddRowf(r.App, 100*r.TLBMiss4K, 100*r.TLBMiss2M, 100*r.TLBMissLinux)
+		t2.AddRowf(r.App, 1.0, r.Speedup2M, r.SpeedupLinux)
+		s2m = append(s2m, r.Speedup2M)
+	}
+	o.printf("Figure 1 — TLB miss rate and speedup: 4KB vs 2MB vs Linux THP @50%% fragmentation\n\n")
+	o.printf("%s\n%s", t1.String(), t2.String())
+	o.printf("\ngeomean 2MB speedup: %.3f (paper: ~1.3, max ~2.0)\n", metrics.Geomean(s2m))
+
+	bars := plot.BarChart{
+		Title:  "Fig 1 — speedup: 4KB vs 2MB vs Linux THP @50% frag",
+		YLabel: "speedup over 4KB",
+		Series: []string{"100% 4KB", "100% 2MB", "Linux THP (50% frag)"},
+	}
+	miss := plot.BarChart{
+		Title:  "Fig 1 — TLB miss %",
+		YLabel: "TLB miss %",
+		Series: []string{"100% 4KB", "100% 2MB", "Linux THP (50% frag)"},
+	}
+	for _, r := range rows {
+		bars.Groups = append(bars.Groups, plot.BarGroup{Label: r.App, Values: []float64{1, r.Speedup2M, r.SpeedupLinux}})
+		miss.Groups = append(miss.Groups, plot.BarGroup{Label: r.App, Values: []float64{100 * r.TLBMiss4K, 100 * r.TLBMiss2M, 100 * r.TLBMissLinux}})
+	}
+	o.savePlot("fig1_speedup", bars.SVG())
+	o.savePlot("fig1_tlbmiss", miss.SVG())
+	return rows, nil
+}
+
+// AppOrder returns the application list for the given options (all eight in
+// the paper's order).
+func AppOrder(o Options) []string { return appNames() }
+
+func appNames() []string {
+	return []string{"BFS", "SSSP", "PR", "canneal", "omnetpp", "xalancbmk", "dedup", "mcf"}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"pccsim/internal/metrics"
+	"pccsim/internal/plot"
+)
+
+// Fig5App is one application's utility-curve bundle: the PCC and HawkEye
+// curves over the promotion budgets, plus the flat reference lines (ideal,
+// Linux THP at 50% and 90% fragmentation).
+type Fig5App struct {
+	App     string
+	PCC     metrics.Curve
+	HawkEye metrics.Curve
+	Ideal   metrics.CurvePoint
+	Linux50 metrics.CurvePoint
+	Linux90 metrics.CurvePoint
+}
+
+// Fig5 reproduces Figure 5: single-thread runtime speedup (top) and PTW
+// rate (bottom) utility curves, PCC vs HawkEye, as huge pages back
+// 0,1,2,4,...,64,~100% of the application footprint, with the Linux THP
+// fragmented-memory references and the all-THP ceiling.
+func Fig5(o Options, apps []string) ([]Fig5App, error) {
+	if len(apps) == 0 {
+		apps = appNames()
+	}
+	bcache := newBaselineCache()
+	var out []Fig5App
+
+	for _, app := range apps {
+		bundle := Fig5App{App: app}
+		bundle.PCC.Name = "PCC"
+		bundle.HawkEye.Name = "HawkEye"
+
+		for _, kind := range []policyKind{polPCC, polHawkEye} {
+			for _, b := range o.Budgets {
+				rc := runCfg{kind: kind, budgetPct: b}
+				if b == 0 {
+					rc.kind = polBaseline
+				}
+				r := o.runApp(app, rc, bcache)
+				pt := metrics.CurvePoint{
+					BudgetPct: b,
+					Speedup:   r.Speedup,
+					PTWRate:   r.PTWRate,
+					TLBMiss:   r.L1Miss,
+					HugePages: int(r.Huge),
+					Cycles:    r.Cycles,
+				}
+				if kind == polPCC {
+					bundle.PCC.Points = append(bundle.PCC.Points, pt)
+				} else {
+					bundle.HawkEye.Points = append(bundle.HawkEye.Points, pt)
+				}
+			}
+		}
+		ideal := o.runApp(app, runCfg{kind: polIdeal}, bcache)
+		bundle.Ideal = metrics.CurvePoint{Speedup: ideal.Speedup, PTWRate: ideal.PTWRate, TLBMiss: ideal.L1Miss}
+		l50 := o.runApp(app, runCfg{kind: polLinux, frag: 0.5}, bcache)
+		bundle.Linux50 = metrics.CurvePoint{Speedup: l50.Speedup, PTWRate: l50.PTWRate, TLBMiss: l50.L1Miss}
+		l90 := o.runApp(app, runCfg{kind: polLinux, frag: 0.9}, bcache)
+		bundle.Linux90 = metrics.CurvePoint{Speedup: l90.Speedup, PTWRate: l90.PTWRate, TLBMiss: l90.L1Miss}
+		out = append(out, bundle)
+
+		o.printf("Figure 5 — %s utility curves (speedup over 4KB baseline / PTW %%)\n", app)
+		t := metrics.NewTable("Budget%", "PCC speedup", "PCC PTW%", "HawkEye speedup", "HawkEye PTW%")
+		for i := range bundle.PCC.Points {
+			pp, hp := bundle.PCC.Points[i], bundle.HawkEye.Points[i]
+			t.AddRowf(pp.BudgetPct, pp.Speedup, 100*pp.PTWRate, hp.Speedup, 100*hp.PTWRate)
+		}
+		o.printf("%s", t.String())
+		o.printf("refs: ideal=%.3f  Linux@50%%frag=%.3f  Linux@90%%frag=%.3f\n\n",
+			bundle.Ideal.Speedup, bundle.Linux50.Speedup, bundle.Linux90.Speedup)
+
+		chart := plot.CurveChart("Fig 5 — "+app+" utility", bundle.PCC, bundle.HawkEye)
+		chart.Refs = []plot.HLine{
+			{Name: "ideal (all THP)", Y: bundle.Ideal.Speedup},
+			{Name: "Linux @50% frag", Y: bundle.Linux50.Speedup},
+			{Name: "Linux @90% frag", Y: bundle.Linux90.Speedup},
+		}
+		o.savePlot("fig5_"+app, chart.SVG())
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pccsim/internal/metrics"
+	"pccsim/internal/workloads"
+)
+
+// Fig6Row is one PCC-size sensitivity series for one graph application on
+// the Kronecker input: speedup per PCC entry count, plus baseline/ideal.
+type Fig6Row struct {
+	App     string
+	Entries []int
+	Speedup []float64
+	Ideal   float64
+}
+
+// Fig6Sizes are the paper's sweep points: 4 to 1024 entries in powers of 2.
+var Fig6Sizes = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Fig6 reproduces Figure 6: the impact of PCC size on graph application
+// runtime with the promotion footprint capped at 32% of the application
+// footprint, on the Kronecker network.
+func Fig6(o Options, sizes []int) ([]Fig6Row, error) {
+	if len(sizes) == 0 {
+		sizes = Fig6Sizes
+	}
+	// The paper restricts this analysis to the Kronecker network.
+	o.Datasets = []workloads.GraphDataset{workloads.DatasetKron}
+	bcache := newBaselineCache()
+	const budget = 32
+
+	var rows []Fig6Row
+	for _, app := range []string{"BFS", "SSSP", "PR"} {
+		row := Fig6Row{App: app, Entries: sizes}
+		for _, n := range sizes {
+			r := o.runApp(app, runCfg{kind: polPCC, budgetPct: budget, pccEntries: n}, bcache)
+			row.Speedup = append(row.Speedup, r.Speedup)
+		}
+		ideal := o.runApp(app, runCfg{kind: polIdeal}, bcache)
+		row.Ideal = ideal.Speedup
+		rows = append(rows, row)
+	}
+
+	t := metrics.NewTable(append([]string{"App"}, append(sizesHeader(sizes), "Ideal")...)...)
+	for _, r := range rows {
+		cells := []string{r.App}
+		for _, s := range r.Speedup {
+			cells = append(cells, fmt3(s))
+		}
+		cells = append(cells, fmt3(r.Ideal))
+		t.AddRow(cells...)
+	}
+	o.printf("Figure 6 — PCC size sensitivity (speedup, promotion cap 32%% of footprint, Kronecker)\n\n%s", t.String())
+	return rows, nil
+}
+
+func sizesHeader(sizes []int) []string {
+	h := make([]string, len(sizes))
+	for i, s := range sizes {
+		h[i] = itoa(s) + "e"
+	}
+	return h
+}
+
+func fmt3(x float64) string { return fmt.Sprintf("%.3f", x) }

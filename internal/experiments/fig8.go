@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pccsim/internal/metrics"
+	"pccsim/internal/ospolicy"
+	"pccsim/internal/plot"
+	"pccsim/internal/workloads"
+)
+
+// Fig8App is one (app, thread-count) multithread utility bundle comparing
+// the two cross-PCC OS selection policies.
+type Fig8App struct {
+	App         string
+	Threads     int
+	HighestFreq metrics.Curve
+	RoundRobin  metrics.Curve
+	Ideal       float64 // all-THP ceiling at the same thread count
+}
+
+// Fig8 reproduces Figure 8: parallel graph applications on 2/4/8 cores, one
+// PCC per core, with the OS merging candidates by highest-PCC-frequency vs
+// round-robin. Speedups are relative to the same-thread-count 4KB baseline.
+func Fig8(o Options, threadCounts []int) ([]Fig8App, error) {
+	if len(threadCounts) == 0 {
+		threadCounts = []int{2, 4, 8}
+	}
+	o.Datasets = []workloads.GraphDataset{workloads.DatasetKron}
+	var out []Fig8App
+
+	for _, threads := range threadCounts {
+		bcache := newBaselineCache()
+		for _, app := range []string{"BFS", "SSSP", "PR"} {
+			bundle := Fig8App{App: app, Threads: threads}
+			bundle.HighestFreq.Name = "highest-freq"
+			bundle.RoundRobin.Name = "round-robin"
+			for _, sel := range []ospolicy.SelectionPolicy{ospolicy.HighestFrequency, ospolicy.RoundRobin} {
+				for _, b := range o.Budgets {
+					rc := runCfg{kind: polPCC, budgetPct: b, threads: threads, selection: sel}
+					if b == 0 {
+						rc.kind = polBaseline
+					}
+					r := o.runApp(app, rc, bcache)
+					pt := metrics.CurvePoint{BudgetPct: b, Speedup: r.Speedup, PTWRate: r.PTWRate}
+					if sel == ospolicy.HighestFrequency {
+						bundle.HighestFreq.Points = append(bundle.HighestFreq.Points, pt)
+					} else {
+						bundle.RoundRobin.Points = append(bundle.RoundRobin.Points, pt)
+					}
+				}
+			}
+			ideal := o.runApp(app, runCfg{kind: polIdeal, threads: threads}, bcache)
+			bundle.Ideal = ideal.Speedup
+			out = append(out, bundle)
+
+			o.printf("Figure 8 — %s with %d threads (speedup vs %d-thread 4KB baseline)\n", app, threads, threads)
+			t := metrics.NewTable("Budget%", "HighestFreq", "RoundRobin")
+			for i := range bundle.HighestFreq.Points {
+				hf, rr := bundle.HighestFreq.Points[i], bundle.RoundRobin.Points[i]
+				t.AddRowf(hf.BudgetPct, hf.Speedup, rr.Speedup)
+			}
+			o.printf("%s", t.String())
+			o.printf("ideal (all THP): %s\n\n", fmt.Sprintf("%.3f", bundle.Ideal))
+
+			chart := plot.CurveChart(
+				fmt.Sprintf("Fig 8 — %s, %d threads", app, threads),
+				bundle.HighestFreq, bundle.RoundRobin)
+			chart.Refs = []plot.HLine{{Name: "ideal (all THP)", Y: bundle.Ideal}}
+			o.savePlot(fmt.Sprintf("fig8_%s_%dt", app, threads), chart.SVG())
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,325 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, plus the ablation studies DESIGN.md calls out. Each
+// driver builds the required machines and workloads, runs the simulations,
+// and renders the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pccsim/internal/metrics"
+	"pccsim/internal/ospolicy"
+	"pccsim/internal/pcc"
+	"pccsim/internal/physmem"
+	"pccsim/internal/plot"
+	"pccsim/internal/tlb"
+	"pccsim/internal/vmm"
+	"pccsim/internal/workloads"
+)
+
+// Options scales and scopes an experiment run. The zero value is unusable;
+// start from DefaultOptions (full fidelity) or QuickOptions (CI-sized).
+type Options struct {
+	// Out receives the rendered report.
+	Out io.Writer
+	// Scale is the graph scale (2^Scale vertices).
+	Scale int
+	// SynthAccesses is the synthetic apps' stream length.
+	SynthAccesses uint64
+	// SynthSizeScale scales the synthetic apps' footprints.
+	SynthSizeScale float64
+	// Datasets lists the graph inputs to evaluate (geomean across them).
+	Datasets []workloads.GraphDataset
+	// BothSortings evaluates sorted (DBG) and unsorted variants and
+	// geomeans them, as the paper does.
+	BothSortings bool
+	// Interval is the promotion tick in accesses.
+	Interval uint64
+	// PhysBytes sizes physical memory.
+	PhysBytes uint64
+	// Seed drives fragmentation placement.
+	Seed int64
+	// Budgets are the utility-curve points in percent of footprint
+	// (0 = baseline, 100 = promote-everything-the-PCC-sees).
+	Budgets []float64
+	// TLBDivisor shrinks every TLB by this factor (1 = the paper's Table
+	// 2 hardware). Quick/CI configurations use it to preserve the
+	// footprint >> TLB-reach regime at miniature workload scales; full
+	// runs must leave it at 1.
+	TLBDivisor int
+	// PlotDir, when non-empty, makes figure drivers additionally write
+	// SVG renderings of their curves/bars into this directory.
+	PlotDir string
+}
+
+// savePlot writes an SVG next to the textual report, logging rather than
+// failing the experiment on I/O errors.
+func (o Options) savePlot(name, svg string) {
+	if o.PlotDir == "" {
+		return
+	}
+	if path, err := plot.Save(o.PlotDir, name, svg); err != nil {
+		o.printf("(plot %s failed: %v)\n", name, err)
+	} else {
+		o.printf("(wrote %s)\n", path)
+	}
+}
+
+// DefaultOptions returns the full-fidelity configuration used for the
+// reported results (tens of minutes for the complete suite).
+func DefaultOptions(out io.Writer) Options {
+	return Options{
+		Out:            out,
+		Scale:          workloads.DefaultScale,
+		SynthAccesses:  12_000_000,
+		SynthSizeScale: 1.0,
+		Datasets:       []workloads.GraphDataset{workloads.DatasetKron},
+		BothSortings:   true,
+		Interval:       2_000_000,
+		PhysBytes:      2 << 30,
+		Seed:           1,
+		Budgets:        []float64{0, 1, 2, 4, 8, 16, 32, 64, 100},
+		TLBDivisor:     1,
+	}
+}
+
+// QuickOptions returns a CI-sized configuration (seconds per experiment)
+// exercising every code path at reduced scale.
+func QuickOptions(out io.Writer) Options {
+	o := DefaultOptions(out)
+	o.Scale = 14
+	o.SynthAccesses = 400_000
+	o.SynthSizeScale = 0.05
+	o.Interval = 100_000
+	o.PhysBytes = 512 << 20
+	o.Budgets = []float64{0, 25, 100}
+	o.TLBDivisor = 8
+	return o
+}
+
+// FullOptions extends DefaultOptions to all three datasets (the paper's
+// 6-dataset geomean per graph kernel).
+func FullOptions(out io.Writer) Options {
+	o := DefaultOptions(out)
+	o.Datasets = []workloads.GraphDataset{
+		workloads.DatasetKron, workloads.DatasetSocial, workloads.DatasetWeb,
+	}
+	return o
+}
+
+// policyKind selects the OS strategy for a run.
+type policyKind int
+
+const (
+	polBaseline policyKind = iota
+	polIdeal
+	polPCC
+	polHawkEye
+	polLinux
+)
+
+func (k policyKind) String() string {
+	switch k {
+	case polBaseline:
+		return "4KB"
+	case polIdeal:
+		return "THP-ideal"
+	case polPCC:
+		return "PCC"
+	case polHawkEye:
+		return "HawkEye"
+	case polLinux:
+		return "Linux-THP"
+	}
+	return "?"
+}
+
+// runCfg fully describes one simulation run.
+type runCfg struct {
+	kind       policyKind
+	frag       float64 // fragmented fraction of physical memory
+	budgetPct  float64 // promotion budget, % of footprint (0 = unlimited)
+	threads    int     // cores used (≥1)
+	selection  ospolicy.SelectionPolicy
+	demote     bool
+	pccEntries int  // 0 = default 128
+	noFilter   bool // disable the cold-miss filter (ablation)
+	noDecay    bool // disable counter decay (ablation)
+	victim     bool // use the L2-eviction victim tracker instead of the PCC
+	replace    pcc.ReplacementPolicy
+	interval   uint64
+}
+
+func (o Options) machineConfig(rc runCfg) vmm.Config {
+	cfg := vmm.DefaultConfig()
+	cfg.Cores = rc.threads
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	if d := o.TLBDivisor; d > 1 {
+		shrink := func(c *tlb.Config) {
+			c.Entries /= d
+			if c.Entries < c.Ways {
+				c.Entries = c.Ways
+			}
+		}
+		shrink(&cfg.TLB.L1D4K)
+		shrink(&cfg.TLB.L1D2M)
+		shrink(&cfg.TLB.L1D1G)
+		shrink(&cfg.TLB.L2)
+	}
+	cfg.Phys = physmem.Config{TotalBytes: o.PhysBytes, MovableFillRatio: 0.5}
+	cfg.FragFrac = rc.frag
+	cfg.Seed = o.Seed
+	cfg.PromotionInterval = o.Interval
+	if rc.interval > 0 {
+		cfg.PromotionInterval = rc.interval
+	}
+	cfg.EnablePCC = rc.kind == polPCC
+	cfg.UseVictimTracker = rc.kind == polPCC && rc.victim
+	cfg.DisableColdFilter = rc.noFilter
+	if rc.pccEntries > 0 {
+		cfg.PCC2M.Entries = rc.pccEntries
+	}
+	cfg.PCC2M.DisableDecay = rc.noDecay
+	cfg.PCC2M.Replacement = rc.replace
+	return cfg
+}
+
+// runOne simulates workload wl under rc and returns the result.
+func (o Options) runOne(wl workloads.Workload, rc runCfg) vmm.RunResult {
+	if rc.threads < 1 {
+		rc.threads = 1
+	}
+	cfg := o.machineConfig(rc)
+
+	var policy vmm.Policy
+	var engine *ospolicy.PCCEngine
+	switch rc.kind {
+	case polBaseline:
+		policy = ospolicy.Baseline{}
+	case polIdeal:
+		policy = ospolicy.AllHuge{}
+	case polPCC:
+		ec := ospolicy.DefaultPCCEngineConfig()
+		ec.Selection = rc.selection
+		ec.EnableDemotion = rc.demote
+		engine = ospolicy.NewPCCEngine(ec)
+		policy = engine
+	case polHawkEye:
+		policy = ospolicy.NewHawkEye(ospolicy.DefaultHawkEyeConfig())
+	case polLinux:
+		policy = ospolicy.NewLinuxTHP(ospolicy.DefaultLinuxTHPConfig())
+	}
+
+	m := vmm.NewMachine(cfg, policy)
+	p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
+	if rc.budgetPct > 0 && rc.budgetPct < 100 {
+		p.MaxHugeBytes = uint64(rc.budgetPct / 100 * float64(wl.Footprint()))
+	}
+	cores := make([]int, rc.threads)
+	for i := range cores {
+		cores[i] = i
+		if engine != nil {
+			engine.Bind(i, p)
+		}
+	}
+	return m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: cores})
+}
+
+// variantSpecs expands an app name into the dataset/sorting variants the
+// paper geomeans over (graph apps) or the single instance (synthetic apps).
+func (o Options) variantSpecs(app string) []workloads.Spec {
+	isGraph := false
+	for _, g := range workloads.GraphAppNames() {
+		if g == app {
+			isGraph = true
+			break
+		}
+	}
+	if !isGraph {
+		return []workloads.Spec{{
+			Name:      app,
+			SizeScale: o.SynthSizeScale,
+			Accesses:  o.SynthAccesses,
+		}}
+	}
+	var specs []workloads.Spec
+	for _, d := range o.Datasets {
+		s := workloads.Spec{Name: app, Dataset: d, Scale: o.Scale}
+		if o.BothSortings {
+			specs = append(specs, workloads.SortedSpecs(s)...)
+		} else {
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
+// appResult aggregates a metric across an app's variants by geomean
+// (speedups) or arithmetic mean (rates).
+type appResult struct {
+	Speedup float64
+	PTWRate float64
+	L1Miss  float64
+	Huge    float64
+	Cycles  float64
+}
+
+// baselineCache memoizes per-variant all-4KB baseline runs so every
+// comparison within one experiment shares the same denominator.
+type baselineCache map[string]vmm.RunResult
+
+// newBaselineCache returns an empty cache.
+func newBaselineCache() baselineCache { return baselineCache{} }
+
+// runApp runs every variant of app under rc (and a paired baseline per
+// variant) and aggregates: geomean of speedups, mean of rates.
+func (o Options) runApp(app string, rc runCfg, baselines baselineCache) appResult {
+	specs := o.variantSpecs(app)
+	var speedups, ptws, l1s, huges, cycles []float64
+	for _, s := range specs {
+		// The workload must be partitioned across the same number of
+		// threads the machine runs; otherwise every access lands on one
+		// core and the other PCCs stay empty.
+		s.Threads = rc.threads
+		wl, err := workloads.Build(s)
+		if err != nil {
+			panic(err)
+		}
+		key := specKey(s, rc.threads)
+		base, ok := baselines[key]
+		if !ok {
+			brc := rc
+			brc.kind = polBaseline
+			brc.frag = 0
+			brc.budgetPct = 0
+			base = o.runOne(wl, brc)
+			baselines[key] = base
+		}
+		res := o.runOne(wl, rc)
+		speedups = append(speedups, metrics.Speedup(base.Cycles, res.Cycles))
+		ptws = append(ptws, res.PTWRate)
+		l1s = append(l1s, res.L1MissRate)
+		huges = append(huges, float64(res.HugePages2M))
+		cycles = append(cycles, res.Cycles)
+	}
+	return appResult{
+		Speedup: metrics.Geomean(speedups),
+		PTWRate: metrics.Mean(ptws),
+		L1Miss:  metrics.Mean(l1s),
+		Huge:    metrics.Mean(huges),
+		Cycles:  metrics.Mean(cycles),
+	}
+}
+
+func specKey(s workloads.Spec, threads int) string {
+	return fmt.Sprintf("%s/%s/%v/%d/t%d", s.Name, s.Dataset, s.Sorted, s.Scale, threads)
+}
+
+func (o Options) printf(format string, args ...interface{}) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}

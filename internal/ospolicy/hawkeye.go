@@ -1,0 +1,232 @@
+package ospolicy
+
+import (
+	"math/rand"
+	"sort"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/vmm"
+)
+
+// HawkEyeConfig tunes the HawkEye reimplementation (Panwar et al.,
+// ASPLOS'19), the software state of the art the paper compares against.
+type HawkEyeConfig struct {
+	// SamplePages is how many base pages' accessed bits one interval may
+	// sample — khugepaged's scan rate, 4096, the per-interval work budget
+	// §5.1 identifies as HawkEye's first handicap.
+	SamplePages int
+	// PromotionsPerTick caps promotions per interval. HawkEye inherits
+	// khugepaged's rate: the 4096-page scan covers 8 huge regions, so it
+	// "cannot perform as many promotions as the PCC (up to 128)".
+	PromotionsPerTick int
+	// Buckets is the number of access-coverage buckets (HawkEye: 10, each
+	// ~51 pages of coverage wide; regions in bucket 9 promote first).
+	Buckets int
+	// MinBucket is the lowest bucket ever promoted.
+	MinBucket int
+	// EWMA is the weight of the previous coverage estimate when a new
+	// interval's sample is folded in (HawkEye re-measures utilization
+	// each tracking window and ages old observations).
+	EWMA float64
+	// Seed drives the deterministic page sampling.
+	Seed int64
+}
+
+// DefaultHawkEyeConfig returns the configuration the paper evaluates
+// against.
+func DefaultHawkEyeConfig() HawkEyeConfig {
+	return HawkEyeConfig{
+		SamplePages:       4096,
+		PromotionsPerTick: 8,
+		Buckets:           10,
+		MinBucket:         1,
+		EWMA:              0.5,
+		Seed:              99,
+	}
+}
+
+// hawkRegion is the tracked state for one 2MB-aligned region.
+type hawkRegion struct {
+	proc *vmm.Process
+	base mem.VirtAddr
+	// estimate is the EWMA access-coverage estimate in pages (0..512).
+	estimate float64
+	// hits/samples accumulate within the current interval.
+	hits    int
+	samples int
+}
+
+type regionKey struct {
+	pid  int
+	base mem.VirtAddr
+}
+
+// HawkEye approximates HawkEye's access-coverage-driven asynchronous
+// promotion: each interval it samples the accessed bits of a bounded number
+// of base pages (clearing them, so a page must be re-walked to count
+// again), folds the hit rate into a per-region coverage estimate, buckets
+// regions by estimated coverage, and promotes from the highest bucket
+// downward at khugepaged's rate.
+//
+// The two structural weaknesses the paper identifies are inherent here:
+// (1) promotions are limited to PromotionsPerTick per interval, far below
+// the PCC engine's 128; (2) coverage only records *whether* pages are used,
+// not how many TLB misses they cause, so a fully-streamed region ranks as
+// high as a genuinely TLB-sensitive one until its cleared bits decay.
+type HawkEye struct {
+	cfg     HawkEyeConfig
+	rng     *rand.Rand
+	regions map[regionKey]*hawkRegion
+}
+
+// NewHawkEye builds the policy.
+func NewHawkEye(cfg HawkEyeConfig) *HawkEye {
+	def := DefaultHawkEyeConfig()
+	if cfg.SamplePages <= 0 {
+		cfg.SamplePages = def.SamplePages
+	}
+	if cfg.PromotionsPerTick <= 0 {
+		cfg.PromotionsPerTick = def.PromotionsPerTick
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = def.Buckets
+	}
+	if cfg.EWMA <= 0 || cfg.EWMA >= 1 {
+		cfg.EWMA = def.EWMA
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	return &HawkEye{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		regions: map[regionKey]*hawkRegion{},
+	}
+}
+
+// Name implements vmm.Policy.
+func (h *HawkEye) Name() string { return "HawkEye" }
+
+// OnFault implements vmm.Policy: HawkEye allocates base pages at fault time
+// and promotes asynchronously.
+func (h *HawkEye) OnFault(*vmm.Machine, *vmm.Process, mem.VirtAddr) mem.PageSize {
+	return mem.Page4K
+}
+
+// Tick implements vmm.Policy: sample access bits, update coverage
+// estimates, then promote from the top buckets.
+func (h *HawkEye) Tick(m *vmm.Machine) {
+	h.sample(m)
+	h.fold()
+	h.promote(m)
+}
+
+// sample draws SamplePages random base pages across all processes' VMAs,
+// testing and clearing their accessed bits.
+func (h *HawkEye) sample(m *vmm.Machine) {
+	procs := m.Procs()
+	if len(procs) == 0 {
+		return
+	}
+	// Flatten VMA extents for uniform sampling weighted by size.
+	type extent struct {
+		p *vmm.Process
+		r mem.Range
+	}
+	var extents []extent
+	var total uint64
+	for _, p := range procs {
+		for _, r := range p.Ranges() {
+			extents = append(extents, extent{p: p, r: r})
+			total += r.Len()
+		}
+	}
+	if total == 0 {
+		return
+	}
+	for i := 0; i < h.cfg.SamplePages; i++ {
+		off := h.rng.Uint64() % total
+		var ext extent
+		rem := off
+		for _, e := range extents {
+			if rem < e.r.Len() {
+				ext = e
+				break
+			}
+			rem -= e.r.Len()
+		}
+		addr := mem.PageBase(ext.r.Start+mem.VirtAddr(rem), mem.Page4K)
+		base := mem.PageBase(addr, mem.Page2M)
+		k := regionKey{pid: ext.p.ID, base: base}
+		reg := h.regions[k]
+		if reg == nil {
+			reg = &hawkRegion{proc: ext.p, base: base}
+			h.regions[k] = reg
+		}
+		reg.samples++
+		if ext.p.Table.Accessed4K(addr) {
+			ext.p.Table.ClearAccessed4K(addr)
+			reg.hits++
+		}
+	}
+}
+
+// fold converts this interval's samples into coverage estimates (pages per
+// region, 0..512) and resets the sample accumulators.
+func (h *HawkEye) fold() {
+	pagesPerRegion := float64(mem.Page2M.BasePagesPer())
+	for _, reg := range h.regions {
+		if reg.samples > 0 {
+			obs := float64(reg.hits) / float64(reg.samples) * pagesPerRegion
+			reg.estimate = h.cfg.EWMA*reg.estimate + (1-h.cfg.EWMA)*obs
+		} else {
+			// Unsampled this interval: age the estimate mildly.
+			reg.estimate *= h.cfg.EWMA
+		}
+		reg.hits, reg.samples = 0, 0
+	}
+}
+
+// promote drains the highest-coverage buckets, up to PromotionsPerTick.
+func (h *HawkEye) promote(m *vmm.Machine) {
+	pagesPerRegion := int(mem.Page2M.BasePagesPer())
+	bucketWidth := float64(pagesPerRegion) / float64(h.cfg.Buckets)
+
+	var list []*hawkRegion
+	for _, r := range h.regions {
+		if r.proc.IsHuge2M(r.base) || r.estimate <= 0 {
+			continue
+		}
+		if int(r.estimate/bucketWidth) < h.cfg.MinBucket {
+			continue
+		}
+		list = append(list, r)
+	}
+	// Bucket-major order (higher bucket first); estimate then address as
+	// deterministic tie-breaks.
+	sort.Slice(list, func(i, j int) bool {
+		bi, bj := int(list[i].estimate/bucketWidth), int(list[j].estimate/bucketWidth)
+		if bi != bj {
+			return bi > bj
+		}
+		if list[i].estimate != list[j].estimate {
+			return list[i].estimate > list[j].estimate
+		}
+		return list[i].base < list[j].base
+	})
+
+	promoted := 0
+	for _, r := range list {
+		if promoted >= h.cfg.PromotionsPerTick {
+			break
+		}
+		err := m.Promote2M(r.proc, r.base)
+		if err == nil {
+			promoted++
+			continue
+		}
+		if pe, ok := err.(*vmm.PromoteError); ok && pe.Reason == "no physical block available" {
+			return
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package pcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"pccsim/internal/mem"
+)
+
+// BenchmarkRecordHit measures the hardware insert path when the region is
+// already tracked (the common case for hot regions).
+func BenchmarkRecordHit(b *testing.B) {
+	p := New(DefaultConfig2M())
+	a := addr2M(7)
+	p.Record(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Record(a)
+	}
+}
+
+// BenchmarkRecordChurn measures the insert path under full-capacity
+// replacement pressure (every access a different region).
+func BenchmarkRecordChurn(b *testing.B) {
+	p := New(DefaultConfig2M())
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]mem.VirtAddr, 4096)
+	for i := range addrs {
+		addrs[i] = addr2M(uint64(rng.Intn(1 << 20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Record(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkDump measures the ranked candidate dump of a full PCC.
+func BenchmarkDump(b *testing.B) {
+	p := New(DefaultConfig2M())
+	for r := uint64(0); r < 128; r++ {
+		for i := uint64(0); i <= r%17; i++ {
+			p.Record(addr2M(r))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(p.Dump()) == 0 {
+			b.Fatal("empty dump")
+		}
+	}
+}

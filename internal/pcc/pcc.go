@@ -1,0 +1,345 @@
+// Package pcc implements the paper's primary contribution: the Promotion
+// Candidate Cache. The PCC is a small, fully-associative hardware structure
+// placed after the last-level TLB. Each entry pairs a huge-page-aligned
+// virtual address prefix (the tag) with an N-bit saturating frequency
+// counter. On every page table walk whose region passes the cold-miss filter
+// (the region's page-table accessed bit was already set), the PCC is probed:
+// a hit increments the counter; a miss evicts the least-frequently-used
+// entry (LRU tie-break) and inserts the new region with frequency 0. When
+// any counter saturates, all counters are halved to preserve relative order
+// (decay). The OS periodically dumps the contents, ranked by frequency, and
+// promotes the top candidates; promotions (TLB shootdowns) invalidate the
+// corresponding entries.
+package pcc
+
+import (
+	"fmt"
+	"sort"
+
+	"pccsim/internal/mem"
+)
+
+// ReplacementPolicy selects the victim on insertion into a full PCC.
+type ReplacementPolicy int
+
+const (
+	// LFU evicts the entry with the lowest frequency, breaking ties by
+	// least-recent use. This is the paper's default.
+	LFU ReplacementPolicy = iota
+	// LRU evicts the least recently touched entry regardless of frequency
+	// (the simpler alternative §3.2.1 discusses).
+	LRU
+	// FIFO evicts the oldest-inserted entry (ablation baseline).
+	FIFO
+)
+
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LFU:
+		return "LFU"
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	}
+	return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+}
+
+// Config describes one PCC instance.
+type Config struct {
+	// Entries is the capacity (paper default: 128 for the 2MB PCC, 8 for
+	// the 1GB PCC).
+	Entries int
+	// RegionSize is the granularity tracked: Page2M or Page1G.
+	RegionSize mem.PageSize
+	// CounterBits is the width of the saturating frequency counter
+	// (paper: 8 bits, so counters saturate at 255).
+	CounterBits int
+	// Replacement selects the victim policy; the paper uses LFU with LRU
+	// tie-break.
+	Replacement ReplacementPolicy
+	// DisableDecay turns off the halve-on-saturate behaviour (counters
+	// just stick at max). Used only by the ablation experiments.
+	DisableDecay bool
+}
+
+// DefaultConfig2M returns the paper's 2MB PCC: 128 entries, fully
+// associative, 8-bit counters, LFU+LRU replacement.
+func DefaultConfig2M() Config {
+	return Config{Entries: 128, RegionSize: mem.Page2M, CounterBits: 8, Replacement: LFU}
+}
+
+// DefaultConfig1G returns the paper's 1GB PCC: 8 entries, 8-bit counters.
+func DefaultConfig1G() Config {
+	return Config{Entries: 8, RegionSize: mem.Page1G, CounterBits: 8, Replacement: LFU}
+}
+
+// Stats counts PCC activity.
+type Stats struct {
+	Lookups     uint64 // total probes (post-filter walks)
+	Hits        uint64
+	Inserts     uint64
+	Evictions   uint64
+	Decays      uint64 // number of halve-all events
+	Invalidates uint64 // entries dropped by shootdowns
+	Dumps       uint64 // OS candidate reads
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("lookups=%d hits=%d inserts=%d evictions=%d decays=%d",
+		s.Lookups, s.Hits, s.Inserts, s.Evictions, s.Decays)
+}
+
+type entry struct {
+	valid    bool
+	tag      mem.PageNum // region number at RegionSize granularity
+	freq     uint32
+	lastUse  uint64 // recency stamp for LRU tie-break
+	inserted uint64 // insertion stamp for FIFO
+}
+
+// Candidate is one ranked promotion candidate as dumped to the OS.
+type Candidate struct {
+	Region mem.Region
+	Freq   uint32
+}
+
+// PCC is one promotion candidate cache instance. It is not safe for
+// concurrent use; in the simulated machine each core owns its PCCs and the
+// OS reads dumps between access batches, mirroring the paper's design where
+// the CPU writes PCC contents to a designated memory region.
+type PCC struct {
+	cfg     Config
+	max     uint32 // counter saturation value
+	entries []entry
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a PCC. It panics on invalid configuration (static hardware
+// shape).
+func New(cfg Config) *PCC {
+	if cfg.Entries <= 0 {
+		panic("pcc: entries must be positive")
+	}
+	if cfg.RegionSize != mem.Page2M && cfg.RegionSize != mem.Page1G {
+		panic(fmt.Sprintf("pcc: unsupported region size %v", cfg.RegionSize))
+	}
+	if cfg.CounterBits <= 0 || cfg.CounterBits > 32 {
+		panic(fmt.Sprintf("pcc: invalid counter width %d", cfg.CounterBits))
+	}
+	return &PCC{
+		cfg:     cfg,
+		max:     uint32(1)<<uint(cfg.CounterBits) - 1,
+		entries: make([]entry, cfg.Entries),
+	}
+}
+
+// Config returns the configuration the PCC was built with.
+func (p *PCC) Config() Config { return p.cfg }
+
+// Stats returns a copy of the counters.
+func (p *PCC) Stats() Stats { return p.stats }
+
+// RegionSize returns the tracked granularity.
+func (p *PCC) RegionSize() mem.PageSize { return p.cfg.RegionSize }
+
+// Record is the hardware insertion path: called once per page table walk
+// that passed the cold-miss filter, with any address inside the region. On a
+// hit the frequency increments (decaying all counters if it saturates); on a
+// miss the victim is evicted (if full) and the region inserted with
+// frequency 0, exactly as in Fig. 3 of the paper.
+func (p *PCC) Record(a mem.VirtAddr) {
+	p.tick++
+	p.stats.Lookups++
+	tag := mem.PageNumber(a, p.cfg.RegionSize)
+
+	freeIdx := -1
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.tag == tag {
+			p.stats.Hits++
+			e.lastUse = p.tick
+			if e.freq >= p.max {
+				if !p.cfg.DisableDecay {
+					p.decay()
+					e.freq++ // post-halve increment keeps it top-ranked
+				}
+				return
+			}
+			e.freq++
+			if e.freq >= p.max && !p.cfg.DisableDecay {
+				p.decay()
+			}
+			return
+		}
+		if !e.valid && freeIdx < 0 {
+			freeIdx = i
+		}
+	}
+
+	// Miss: insert with freq 0.
+	idx := freeIdx
+	if idx < 0 {
+		idx = p.victim()
+		p.stats.Evictions++
+	}
+	p.stats.Inserts++
+	p.entries[idx] = entry{valid: true, tag: tag, freq: 0, lastUse: p.tick, inserted: p.tick}
+}
+
+// victim selects the replacement victim index among valid entries according
+// to the configured policy. Caller guarantees the PCC is full.
+func (p *PCC) victim() int {
+	v := 0
+	switch p.cfg.Replacement {
+	case LFU:
+		for i := 1; i < len(p.entries); i++ {
+			e, b := &p.entries[i], &p.entries[v]
+			if e.freq < b.freq || (e.freq == b.freq && e.lastUse < b.lastUse) {
+				v = i
+			}
+		}
+	case LRU:
+		for i := 1; i < len(p.entries); i++ {
+			if p.entries[i].lastUse < p.entries[v].lastUse {
+				v = i
+			}
+		}
+	case FIFO:
+		for i := 1; i < len(p.entries); i++ {
+			if p.entries[i].inserted < p.entries[v].inserted {
+				v = i
+			}
+		}
+	}
+	return v
+}
+
+// decay halves every counter, preserving relative order. This happens in
+// hardware when any counter saturates.
+func (p *PCC) decay() {
+	p.stats.Decays++
+	for i := range p.entries {
+		if p.entries[i].valid {
+			p.entries[i].freq /= 2
+		}
+	}
+}
+
+// Dump returns the current candidates sorted by descending frequency
+// (recency as the tie-break, most recent first), without modifying the PCC.
+// This models the CPU writing PCC contents to the designated memory region
+// for the OS, in priority order.
+func (p *PCC) Dump() []Candidate {
+	p.stats.Dumps++
+	order := make([]int, 0, len(p.entries))
+	for i := range p.entries {
+		if p.entries[i].valid {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := &p.entries[order[x]], &p.entries[order[y]]
+		if a.freq != b.freq {
+			return a.freq > b.freq
+		}
+		return a.lastUse > b.lastUse
+	})
+	out := make([]Candidate, len(order))
+	shift := p.cfg.RegionSize.Shift()
+	for i, idx := range order {
+		e := &p.entries[idx]
+		out[i] = Candidate{
+			Region: mem.Region{Base: mem.VirtAddr(uint64(e.tag) << shift), Size: p.cfg.RegionSize},
+			Freq:   e.freq,
+		}
+	}
+	return out
+}
+
+// Peek returns the frequency for the region containing a, if tracked. Used
+// by the 1GB-promotion comparison (§3.2.3) and by tests.
+func (p *PCC) Peek(a mem.VirtAddr) (uint32, bool) {
+	tag := mem.PageNumber(a, p.cfg.RegionSize)
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.tag == tag {
+			return e.freq, true
+		}
+	}
+	return 0, false
+}
+
+// Invalidate drops the entry for the region containing a, returning whether
+// one was present. Called on TLB shootdown for the region (e.g. after the OS
+// promotes it), so no stale candidate can survive a promotion.
+func (p *PCC) Invalidate(a mem.VirtAddr) bool {
+	tag := mem.PageNumber(a, p.cfg.RegionSize)
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.tag == tag {
+			e.valid = false
+			p.stats.Invalidates++
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateRange drops every entry whose region overlaps r, returning the
+// count removed.
+func (p *PCC) InvalidateRange(r mem.Range) int {
+	n := 0
+	shift := p.cfg.RegionSize.Shift()
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.valid {
+			continue
+		}
+		base := mem.VirtAddr(uint64(e.tag) << shift)
+		er := mem.Range{Start: base, End: base + mem.VirtAddr(uint64(p.cfg.RegionSize))}
+		if er.Overlaps(r) {
+			e.valid = false
+			n++
+		}
+	}
+	p.stats.Invalidates += uint64(n)
+	return n
+}
+
+// Clear empties the PCC (e.g. after a full dump-and-promote cycle when the
+// OS opts to reset tracking).
+func (p *PCC) Clear() {
+	for i := range p.entries {
+		p.entries[i].valid = false
+	}
+}
+
+// Len returns the number of valid entries.
+func (p *PCC) Len() int {
+	n := 0
+	for i := range p.entries {
+		if p.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Full reports whether every way holds a valid entry.
+func (p *PCC) Full() bool { return p.Len() == len(p.entries) }
+
+// StorageBits returns the hardware storage the PCC requires, in bits:
+// per entry a tag (virtual address prefix above the region shift, assuming
+// 48-bit virtual addresses and a valid bit folded in) plus the counter.
+// For the paper's 128-entry 2MB PCC with 40-bit tags and 8-bit counters
+// this is 128*(40+8) bits = 768B.
+func (p *PCC) StorageBits() int {
+	// The paper budgets 40 tag bits per 2MB entry and 31 per 1GB entry.
+	tagBits := 40
+	if p.cfg.RegionSize == mem.Page1G {
+		tagBits = 31
+	}
+	return len(p.entries) * (tagBits + p.cfg.CounterBits)
+}

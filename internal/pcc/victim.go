@@ -1,0 +1,161 @@
+package pcc
+
+import (
+	"sort"
+
+	"pccsim/internal/mem"
+)
+
+// VictimTracker is the design alternative §5.4.1 discusses: instead of a
+// dedicated PCC fed by page table walks, capture promotion candidates from
+// L2-TLB *evictions*, aggregated by 2MB region ("a victim cache for the L2
+// TLB could capture HUBs as huge page regions evicted due to TLB capacity
+// constraints"). The paper argues a small victim cache gets polluted by
+// sparsely-accessed data; this implementation exists to quantify that in
+// the ablation experiments.
+//
+// It intentionally shares the PCC's dump/invalidate surface (Tracker) so
+// the OS engine works with either candidate source unchanged.
+type VictimTracker struct {
+	entries []entry
+	tick    uint64
+	max     uint32
+	stats   Stats
+}
+
+// Tracker is the candidate-source surface shared by the PCC and the victim
+// tracker: the OS only needs recording, ranked dumps, and shootdown
+// invalidation.
+type Tracker interface {
+	Record(a mem.VirtAddr)
+	Dump() []Candidate
+	Invalidate(a mem.VirtAddr) bool
+	InvalidateRange(r mem.Range) int
+	Len() int
+}
+
+var (
+	_ Tracker = (*PCC)(nil)
+	_ Tracker = (*VictimTracker)(nil)
+)
+
+// NewVictimTracker builds a tracker with the given capacity (compare with a
+// PCC of equal entries for a fair area argument).
+func NewVictimTracker(entries int) *VictimTracker {
+	if entries <= 0 {
+		panic("pcc: victim tracker entries must be positive")
+	}
+	return &VictimTracker{entries: make([]entry, entries), max: 255}
+}
+
+// Record notes one L2-TLB eviction of a translation inside a 2MB region.
+// Unlike the PCC there is no cold-miss filter and no walk-frequency
+// semantics: every eviction counts, so streaming data — whose translations
+// are evicted constantly — pollutes the tracker.
+func (v *VictimTracker) Record(a mem.VirtAddr) {
+	v.tick++
+	v.stats.Lookups++
+	tag := mem.PageNumber(a, mem.Page2M)
+	freeIdx := -1
+	for i := range v.entries {
+		e := &v.entries[i]
+		if e.valid && e.tag == tag {
+			v.stats.Hits++
+			e.lastUse = v.tick
+			if e.freq < v.max {
+				e.freq++
+			}
+			return
+		}
+		if !e.valid && freeIdx < 0 {
+			freeIdx = i
+		}
+	}
+	idx := freeIdx
+	if idx < 0 {
+		// LRU replacement — victim caches have no frequency ranking.
+		idx = 0
+		for i := 1; i < len(v.entries); i++ {
+			if v.entries[i].lastUse < v.entries[idx].lastUse {
+				idx = i
+			}
+		}
+		v.stats.Evictions++
+	}
+	v.stats.Inserts++
+	v.entries[idx] = entry{valid: true, tag: tag, freq: 0, lastUse: v.tick, inserted: v.tick}
+}
+
+// Dump returns the tracked regions ranked by eviction count.
+func (v *VictimTracker) Dump() []Candidate {
+	v.stats.Dumps++
+	order := make([]int, 0, len(v.entries))
+	for i := range v.entries {
+		if v.entries[i].valid {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := &v.entries[order[x]], &v.entries[order[y]]
+		if a.freq != b.freq {
+			return a.freq > b.freq
+		}
+		return a.lastUse > b.lastUse
+	})
+	out := make([]Candidate, len(order))
+	for i, idx := range order {
+		e := &v.entries[idx]
+		out[i] = Candidate{
+			Region: mem.Region{Base: mem.VirtAddr(uint64(e.tag) << mem.Page2M.Shift()), Size: mem.Page2M},
+			Freq:   e.freq,
+		}
+	}
+	return out
+}
+
+// Invalidate drops the entry for the region containing a.
+func (v *VictimTracker) Invalidate(a mem.VirtAddr) bool {
+	tag := mem.PageNumber(a, mem.Page2M)
+	for i := range v.entries {
+		e := &v.entries[i]
+		if e.valid && e.tag == tag {
+			e.valid = false
+			v.stats.Invalidates++
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateRange drops entries overlapping r.
+func (v *VictimTracker) InvalidateRange(r mem.Range) int {
+	n := 0
+	for i := range v.entries {
+		e := &v.entries[i]
+		if !e.valid {
+			continue
+		}
+		base := mem.VirtAddr(uint64(e.tag) << mem.Page2M.Shift())
+		er := mem.Range{Start: base, End: base + mem.VirtAddr(uint64(mem.Page2M))}
+		if er.Overlaps(r) {
+			e.valid = false
+			n++
+		}
+	}
+	v.stats.Invalidates += uint64(n)
+	return n
+}
+
+// Len returns valid entry count.
+func (v *VictimTracker) Len() int {
+	n := 0
+	for i := range v.entries {
+		if v.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns the counters.
+func (v *VictimTracker) Stats() Stats { return v.stats }

@@ -1,0 +1,95 @@
+package physmem
+
+// 1GB ("giga") page support (§3.2.3 of the paper). A 1GB physical page
+// needs 512 contiguous, 1GB-aligned 2MB blocks, none of which is unmovable
+// or already backing a huge page; movable blocks in the window are
+// compacted away first.
+
+// blocksPerGiga is how many 2MB blocks one 1GB page spans.
+const blocksPerGiga = 512
+
+// GigaCapable reports whether the memory is large enough to hold at least
+// one 1GB page.
+func (m *Memory) GigaCapable() bool { return len(m.blocks) >= blocksPerGiga }
+
+// gigaWindowCost examines the 1GB-aligned window starting at block w and
+// returns (frames to migrate, usable). A window is unusable if any block is
+// unmovable or huge.
+func (m *Memory) gigaWindowCost(w int) (int, bool) {
+	frames := 0
+	for i := w; i < w+blocksPerGiga; i++ {
+		switch m.blocks[i] {
+		case blockUnmovable, blockHuge:
+			return 0, false
+		case blockMovable:
+			frames += int(m.movableFrames[i])
+		}
+	}
+	return frames, true
+}
+
+// AllocGiga obtains one 1GB-aligned physical page, compacting movable data
+// out of the cheapest usable window. Returns the frames migrated and
+// whether allocation succeeded. Fragmentation makes this fail much earlier
+// than 2MB allocation: a single unmovable page anywhere in a 1GB window
+// poisons all 512 of its blocks.
+func (m *Memory) AllocGiga() (migrated int, ok bool) {
+	if !m.GigaCapable() {
+		m.stats.GigaAllocFailures++
+		return 0, false
+	}
+	best, bestCost := -1, 0
+	for w := 0; w+blocksPerGiga <= len(m.blocks); w += blocksPerGiga {
+		cost, usable := m.gigaWindowCost(w)
+		if !usable {
+			continue
+		}
+		if best < 0 || cost < bestCost {
+			best, bestCost = w, cost
+		}
+	}
+	if best < 0 {
+		m.stats.GigaAllocFailures++
+		return 0, false
+	}
+	for i := best; i < best+blocksPerGiga; i++ {
+		if m.blocks[i] == blockFree {
+			m.freeBlocks--
+		}
+		if m.blocks[i] == blockMovable {
+			m.stats.FramesMigrated += uint64(m.movableFrames[i])
+		}
+		m.blocks[i] = blockHuge
+		m.movableFrames[i] = 0
+	}
+	m.gigaPages++
+	if bestCost > 0 {
+		m.stats.Compactions++
+	}
+	m.stats.GigaAllocs++
+	return bestCost, true
+}
+
+// FreeGiga returns one 1GB page's blocks to the free pool. It panics if no
+// giga page is outstanding.
+func (m *Memory) FreeGiga() {
+	if m.gigaPages == 0 {
+		panic("physmem: FreeGiga with no giga page outstanding")
+	}
+	m.gigaPages--
+	// Free the first 512-block huge window (the model does not track
+	// which window belongs to which page; aggregate counts suffice for
+	// the experiments).
+	freed := 0
+	for i := 0; i < len(m.blocks) && freed < blocksPerGiga; i++ {
+		if m.blocks[i] == blockHuge {
+			m.blocks[i] = blockFree
+			m.freeBlocks++
+			freed++
+		}
+	}
+	m.stats.GigaFrees++
+}
+
+// GigaPagesInUse returns the number of live 1GB pages.
+func (m *Memory) GigaPagesInUse() int { return m.gigaPages }

@@ -1,0 +1,230 @@
+// Package physmem models the machine's physical memory at 4KB-frame
+// granularity with 2MB-block structure, the way the huge page experiments
+// need it: which 2MB-aligned physical blocks are free or can be compacted
+// into being free, how fragmentation (unmovable pages sprinkled across
+// blocks) destroys huge page availability, and how much work compaction
+// costs.
+//
+// The model intentionally does not track which frame backs which virtual
+// page byte-for-byte — the experiments only depend on availability and cost:
+// a huge page promotion needs one fully-usable 2MB-aligned block; a block
+// containing an unmovable frame can never be used; a block containing only
+// movable data can be freed by paying a compaction cost proportional to the
+// frames moved. This matches how the paper fragments memory ("allocating
+// one non-movable page in every 2MB-aligned region" over X% of memory).
+package physmem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pccsim/internal/mem"
+)
+
+// blockState describes one 2MB-aligned physical block.
+type blockState uint8
+
+const (
+	blockFree      blockState = iota // entirely free: huge page allocable immediately
+	blockMovable                     // holds movable 4KB data; compaction can empty it
+	blockUnmovable                   // holds >=1 unmovable frame: never huge-allocable
+	blockHuge                        // currently backing a huge page
+)
+
+// Config sizes the physical memory model.
+type Config struct {
+	// TotalBytes is the physical memory size (paper machine: 64GB per
+	// socket; experiments scale this to a few GB).
+	TotalBytes uint64
+	// MovableFillRatio is the fraction of each non-unmovable block's
+	// frames considered occupied by movable data when fragmentation is
+	// injected; compaction cost scales with it.
+	MovableFillRatio float64
+}
+
+// DefaultConfig returns a 4GB physical memory, half-filled with movable
+// data — the scaled-down analogue of the paper's 64GB node.
+func DefaultConfig() Config {
+	return Config{TotalBytes: 4 << 30, MovableFillRatio: 0.5}
+}
+
+// Stats counts allocator work.
+type Stats struct {
+	HugeAllocs        uint64 // successful 2MB block allocations
+	HugeAllocFailures uint64
+	HugeFrees         uint64
+	GigaAllocs        uint64 // successful 1GB window allocations
+	GigaAllocFailures uint64
+	GigaFrees         uint64
+	Compactions       uint64 // blocks/windows emptied via compaction
+	FramesMigrated    uint64 // total 4KB frames moved by compaction
+	BaseAllocs        uint64
+}
+
+// Memory is the physical memory model.
+type Memory struct {
+	cfg    Config
+	blocks []blockState
+	// movableFrames counts occupied movable 4KB frames per block, used to
+	// price compaction.
+	movableFrames []uint16
+	freeBlocks    int
+	hugeBlocks    int // live 2MB huge pages
+	gigaPages     int // live 1GB pages (512 blocks each)
+	stats         Stats
+}
+
+// New builds the model with all blocks free.
+func New(cfg Config) *Memory {
+	if cfg.TotalBytes == 0 || cfg.TotalBytes%uint64(mem.Page2M) != 0 {
+		panic(fmt.Sprintf("physmem: total bytes %d not a positive multiple of 2MB", cfg.TotalBytes))
+	}
+	n := int(cfg.TotalBytes / uint64(mem.Page2M))
+	return &Memory{
+		cfg:           cfg,
+		blocks:        make([]blockState, n),
+		movableFrames: make([]uint16, n),
+		freeBlocks:    n,
+	}
+}
+
+// Blocks returns the total number of 2MB blocks.
+func (m *Memory) Blocks() int { return len(m.blocks) }
+
+// FreeBlocks returns how many blocks are immediately huge-allocable.
+func (m *Memory) FreeBlocks() int { return m.freeBlocks }
+
+// Stats returns a copy of the counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// Fragment injects the paper's fragmentation pattern: across fraction frac
+// of all 2MB blocks, place one unmovable 4KB frame (making the block
+// permanently non-huge-allocable); the remaining usable blocks are marked as
+// holding movable data per MovableFillRatio so that huge allocation there
+// requires compaction. The rng makes the placement deterministic per seed.
+//
+// frac=0.5 reproduces the paper's "50% of total memory fragmented";
+// frac=0.9 the 90% case.
+func (m *Memory) Fragment(frac float64, rng *rand.Rand) {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("physmem: fragmentation fraction %v out of [0,1]", frac))
+	}
+	framesPerBlock := uint16(mem.Page2M.BasePagesPer())
+	// Choose the unmovable blocks uniformly.
+	perm := rng.Perm(len(m.blocks))
+	nUnmovable := int(frac * float64(len(m.blocks)))
+	m.freeBlocks = 0
+	for i, b := range perm {
+		if i < nUnmovable {
+			m.blocks[b] = blockUnmovable
+			// The unmovable frame plus whatever movable data shares the block.
+			m.movableFrames[b] = uint16(m.cfg.MovableFillRatio * float64(framesPerBlock))
+			continue
+		}
+		if m.cfg.MovableFillRatio > 0 {
+			m.blocks[b] = blockMovable
+			m.movableFrames[b] = uint16(m.cfg.MovableFillRatio * float64(framesPerBlock))
+		} else {
+			m.blocks[b] = blockFree
+			m.movableFrames[b] = 0
+			m.freeBlocks++
+		}
+	}
+}
+
+// HugeBlocksAvailable returns how many further 2MB huge pages could be
+// created right now, counting free blocks plus blocks that compaction could
+// empty.
+func (m *Memory) HugeBlocksAvailable() int {
+	n := 0
+	for _, b := range m.blocks {
+		if b == blockFree || b == blockMovable {
+			n++
+		}
+	}
+	return n
+}
+
+// HugePagesInUse returns the number of live 2MB huge pages (1GB pages are
+// counted separately by GigaPagesInUse).
+func (m *Memory) HugePagesInUse() int { return m.hugeBlocks }
+
+// AllocHuge tries to obtain one 2MB-aligned physical block for a huge page.
+// It prefers an already-free block; otherwise it compacts the movable block
+// requiring the fewest migrations. It returns the number of 4KB frames that
+// had to be migrated (0 when a free block existed) and ok=false when no
+// block can be made available (all remaining blocks unmovable or huge).
+func (m *Memory) AllocHuge() (migrated int, ok bool) {
+	// Fast path: a free block.
+	for i, b := range m.blocks {
+		if b == blockFree {
+			m.blocks[i] = blockHuge
+			m.freeBlocks--
+			m.hugeBlocks++
+			m.stats.HugeAllocs++
+			return 0, true
+		}
+	}
+	// Compaction path: pick the cheapest movable block.
+	best := -1
+	for i, b := range m.blocks {
+		if b == blockMovable && (best < 0 || m.movableFrames[i] < m.movableFrames[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		m.stats.HugeAllocFailures++
+		return 0, false
+	}
+	moved := int(m.movableFrames[best])
+	m.blocks[best] = blockHuge
+	m.movableFrames[best] = 0
+	m.hugeBlocks++
+	m.stats.Compactions++
+	m.stats.FramesMigrated += uint64(moved)
+	m.stats.HugeAllocs++
+	return moved, true
+}
+
+// FreeHuge returns one 2MB huge page's block to the free pool (demotion or
+// process exit). It panics if no 2MB huge page is outstanding, surfacing
+// accounting bugs in the OS policies.
+func (m *Memory) FreeHuge() {
+	if m.hugeBlocks == 0 {
+		panic("physmem: FreeHuge with no huge block outstanding")
+	}
+	m.hugeBlocks--
+	for i, b := range m.blocks {
+		if b == blockHuge {
+			m.blocks[i] = blockFree
+			m.freeBlocks++
+			m.stats.HugeFrees++
+			return
+		}
+	}
+	panic("physmem: huge block count/state mismatch")
+}
+
+// AllocBase records a 4KB allocation. Base pages always succeed in these
+// experiments (the workloads fit in memory); the call exists for accounting
+// symmetry and for the bloat metric.
+func (m *Memory) AllocBase(n uint64) { m.stats.BaseAllocs += n }
+
+// String summarizes the block population.
+func (m *Memory) String() string {
+	var free, movable, unmovable, huge int
+	for _, b := range m.blocks {
+		switch b {
+		case blockFree:
+			free++
+		case blockMovable:
+			movable++
+		case blockUnmovable:
+			unmovable++
+		case blockHuge:
+			huge++
+		}
+	}
+	return fmt.Sprintf("physmem{blocks=%d free=%d movable=%d unmovable=%d huge=%d}",
+		len(m.blocks), free, movable, unmovable, huge)
+}

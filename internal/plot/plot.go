@@ -1,0 +1,336 @@
+// Package plot renders the experiment harness's utility curves and bar
+// groups as standalone SVG files using only the standard library, so
+// `pccsim -plots <dir>` can regenerate the paper's figures as images, not
+// just tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pccsim/internal/metrics"
+)
+
+// palette holds the series colors (colorblind-safe Okabe-Ito subset).
+var palette = []string{
+	"#0072B2", // blue
+	"#D55E00", // vermillion
+	"#009E73", // green
+	"#CC79A7", // purple
+	"#E69F00", // orange
+	"#56B4E9", // sky
+	"#000000", // black
+}
+
+const (
+	width   = 640
+	height  = 400
+	marginL = 64
+	marginR = 24
+	marginT = 40
+	marginB = 48
+)
+
+// Line is one series of a line chart.
+type Line struct {
+	Name string
+	X    []float64
+	Y    []float64
+	// Dashed renders the series as a dashed reference line.
+	Dashed bool
+}
+
+// HLine is a horizontal reference line (e.g. the all-THP ideal).
+type HLine struct {
+	Name string
+	Y    float64
+}
+
+// LineChart describes one figure.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Lines  []Line
+	Refs   []HLine
+	// LogX uses a log2 x-axis (utility curves sweep power-of-two budgets).
+	LogX bool
+}
+
+// CurveChart builds a LineChart from metrics curves (speedup vs budget).
+func CurveChart(title string, curves ...metrics.Curve) LineChart {
+	c := LineChart{Title: title, XLabel: "huge budget (% of footprint)", YLabel: "speedup", LogX: true}
+	for _, cv := range curves {
+		l := Line{Name: cv.Name}
+		for _, p := range cv.Points {
+			l.X = append(l.X, p.BudgetPct)
+			l.Y = append(l.Y, p.Speedup)
+		}
+		c.Lines = append(c.Lines, l)
+	}
+	return c
+}
+
+type scale struct {
+	minX, maxX, minY, maxY float64
+	logX                   bool
+}
+
+func (s scale) x(v float64) float64 {
+	min, max, val := s.minX, s.maxX, v
+	if s.logX {
+		min, max, val = log2p1(min), log2p1(max), log2p1(v)
+	}
+	if max == min {
+		return marginL
+	}
+	return marginL + (val-min)/(max-min)*(width-marginL-marginR)
+}
+
+func (s scale) y(v float64) float64 {
+	if s.maxY == s.minY {
+		return height - marginB
+	}
+	return float64(height-marginB) - (v-s.minY)/(s.maxY-s.minY)*float64(height-marginT-marginB)
+}
+
+// log2p1 maps budget percentages (which include 0) onto a log-ish axis.
+func log2p1(v float64) float64 { return math.Log2(v + 1) }
+
+// SVG renders the chart.
+func (c LineChart) SVG() string {
+	var b strings.Builder
+	sc := c.fitScale()
+
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`, marginL, escape(c.Title))
+
+	c.axes(&b, sc)
+
+	for i, l := range c.Lines {
+		color := palette[i%len(palette)]
+		dash := ""
+		if l.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		var pts []string
+		for j := range l.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sc.x(l.X[j]), sc.y(l.Y[j])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2"%s points="%s"/>`,
+			color, dash, strings.Join(pts, " "))
+		for j := range l.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`,
+				sc.x(l.X[j]), sc.y(l.Y[j]), color)
+		}
+	}
+	for i, r := range c.Refs {
+		color := palette[(len(c.Lines)+i)%len(palette)]
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1.5" stroke-dasharray="4,4"/>`,
+			marginL, sc.y(r.Y), width-marginR, sc.y(r.Y), color)
+	}
+	c.legend(&b)
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func (c LineChart) fitScale() scale {
+	sc := scale{minX: math.Inf(1), maxX: math.Inf(-1), minY: math.Inf(1), maxY: math.Inf(-1), logX: c.LogX}
+	for _, l := range c.Lines {
+		for i := range l.X {
+			sc.minX = math.Min(sc.minX, l.X[i])
+			sc.maxX = math.Max(sc.maxX, l.X[i])
+			sc.minY = math.Min(sc.minY, l.Y[i])
+			sc.maxY = math.Max(sc.maxY, l.Y[i])
+		}
+	}
+	for _, r := range c.Refs {
+		sc.minY = math.Min(sc.minY, r.Y)
+		sc.maxY = math.Max(sc.maxY, r.Y)
+	}
+	if math.IsInf(sc.minX, 1) {
+		sc.minX, sc.maxX, sc.minY, sc.maxY = 0, 1, 0, 1
+	}
+	// Pad Y range 5%.
+	pad := (sc.maxY - sc.minY) * 0.05
+	if pad == 0 {
+		pad = 0.05
+	}
+	sc.minY -= pad
+	sc.maxY += pad
+	return sc
+}
+
+func (c LineChart) axes(b *strings.Builder, sc scale) {
+	// Frame.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT, marginL, height-marginB)
+
+	// X ticks at the data points of the first line (budget sweep).
+	ticks := map[float64]bool{}
+	for _, l := range c.Lines {
+		for _, x := range l.X {
+			ticks[x] = true
+		}
+	}
+	var xs []float64
+	for x := range ticks {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		px := sc.x(x)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`,
+			px, height-marginB, px, height-marginB+5)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+			px, height-marginB+18, trimNum(x))
+	}
+	// Y ticks: 5 evenly spaced.
+	for i := 0; i <= 4; i++ {
+		v := sc.minY + (sc.maxY-sc.minY)*float64(i)/4
+		py := sc.y(v)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`,
+			marginL-5, py, marginL, py)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.2f</text>`,
+			marginL-8, py+4, v)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`,
+			marginL, py, width-marginR, py)
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`,
+		(marginL+width-marginR)/2, height-12, escape(c.XLabel))
+	fmt.Fprintf(b, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, escape(c.YLabel))
+}
+
+func (c LineChart) legend(b *strings.Builder) {
+	y := marginT + 8
+	x := width - marginR - 190
+	for i, l := range c.Lines {
+		color := palette[i%len(palette)]
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			x, y, x+22, y, color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11">%s</text>`, x+28, y+4, escape(l.Name))
+		y += 16
+	}
+	for i, r := range c.Refs {
+		color := palette[(len(c.Lines)+i)%len(palette)]
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.5" stroke-dasharray="4,4"/>`,
+			x, y, x+22, y, color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11">%s</text>`, x+28, y+4, escape(r.Name))
+		y += 16
+	}
+}
+
+// BarGroup is one labeled cluster of bars (e.g. one application).
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// BarChart describes a grouped bar figure (Fig. 1 / Fig. 7 style).
+type BarChart struct {
+	Title  string
+	YLabel string
+	Series []string // one per bar within a group
+	Groups []BarGroup
+}
+
+// SVG renders the bar chart.
+func (c BarChart) SVG() string {
+	var b strings.Builder
+	maxY := 0.0
+	for _, g := range c.Groups {
+		for _, v := range g.Values {
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	maxY *= 1.1
+	y := func(v float64) float64 {
+		return float64(height-marginB) - v/maxY*float64(height-marginT-marginB)
+	}
+
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`, marginL, escape(c.Title))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT, marginL, height-marginB)
+
+	// Y ticks.
+	for i := 0; i <= 4; i++ {
+		v := maxY * float64(i) / 4
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.2f</text>`,
+			marginL-8, y(v)+4, v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`,
+			marginL, y(v), width-marginR, y(v))
+	}
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, escape(c.YLabel))
+
+	plotW := float64(width - marginL - marginR)
+	groupW := plotW / float64(len(c.Groups))
+	barW := groupW * 0.8 / float64(maxInt(len(c.Series), 1))
+	for gi, g := range c.Groups {
+		gx := float64(marginL) + groupW*float64(gi) + groupW*0.1
+		for vi, v := range g.Values {
+			color := palette[vi%len(palette)]
+			bx := gx + barW*float64(vi)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+				bx, y(v), barW-1, float64(height-marginB)-y(v), color)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+			gx+groupW*0.4, height-marginB+18, escape(g.Label))
+	}
+	// Legend.
+	lx, ly := width-marginR-170, marginT+8
+	for i, s := range c.Series {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`,
+			lx, ly-9, palette[i%len(palette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`, lx+18, ly+2, escape(s))
+		ly += 16
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// Save writes an SVG document to dir/name.svg, creating dir if needed.
+func Save(dir, name, svg string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("plot: %w", err)
+	}
+	path := filepath.Join(dir, name+".svg")
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return "", fmt.Errorf("plot: %w", err)
+	}
+	return path, nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func trimNum(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,157 @@
+package plot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pccsim/internal/metrics"
+)
+
+func sampleChart() LineChart {
+	return CurveChart("BFS utility",
+		metrics.Curve{Name: "PCC", Points: []metrics.CurvePoint{
+			{BudgetPct: 0, Speedup: 1.0},
+			{BudgetPct: 4, Speedup: 1.17},
+			{BudgetPct: 100, Speedup: 1.39},
+		}},
+		metrics.Curve{Name: "HawkEye", Points: []metrics.CurvePoint{
+			{BudgetPct: 0, Speedup: 1.0},
+			{BudgetPct: 4, Speedup: 1.0},
+			{BudgetPct: 100, Speedup: 1.32},
+		}},
+	)
+}
+
+func TestLineChartSVGStructure(t *testing.T) {
+	c := sampleChart()
+	c.Refs = append(c.Refs, HLine{Name: "ideal", Y: 1.49})
+	svg := c.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "BFS utility", "PCC", "HawkEye",
+		"ideal", "speedup", "huge budget",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two polylines (one per series).
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	// The ideal reference renders as a dashed line.
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("reference line must be dashed")
+	}
+}
+
+func TestLineChartMonotoneXMapping(t *testing.T) {
+	c := sampleChart()
+	sc := c.fitScale()
+	if sc.x(0) >= sc.x(4) || sc.x(4) >= sc.x(100) {
+		t.Error("x mapping must be monotone")
+	}
+	if sc.y(1.0) <= sc.y(1.39) {
+		t.Error("y mapping must invert (larger value higher on screen)")
+	}
+	// All points inside the plot area.
+	for _, l := range c.Lines {
+		for i := range l.X {
+			px, py := sc.x(l.X[i]), sc.y(l.Y[i])
+			if px < marginL-1 || px > width-marginR+1 || py < marginT-1 || py > height-marginB+1 {
+				t.Errorf("point (%v,%v) maps outside plot area: (%v,%v)", l.X[i], l.Y[i], px, py)
+			}
+		}
+	}
+}
+
+func TestEmptyChartDoesNotPanic(t *testing.T) {
+	c := LineChart{Title: "empty"}
+	if !strings.Contains(c.SVG(), "<svg") {
+		t.Error("empty chart must still render a document")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := LineChart{Title: `a<b & c>d`}
+	svg := c.SVG()
+	if strings.Contains(svg, "a<b") {
+		t.Error("title must be escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; c&gt;d") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := BarChart{
+		Title:  "Fig 7",
+		YLabel: "speedup",
+		Series: []string{"HawkEye", "Linux", "PCC"},
+		Groups: []BarGroup{
+			{Label: "BFS", Values: []float64{1.31, 0.98, 1.38}},
+			{Label: "SSSP", Values: []float64{1.25, 0.99, 1.33}},
+		},
+	}
+	svg := c.SVG()
+	if got := strings.Count(svg, "<rect"); got < 7 { // background + 6 bars + legend swatches
+		t.Errorf("rect count = %d", got)
+	}
+	for _, want := range []string{"BFS", "SSSP", "HawkEye", "Linux", "PCC"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestSave(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "figs")
+	path, err := Save(dir, "fig5_bfs", sampleChart().SVG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("saved file must start with <svg")
+	}
+}
+
+func TestTrimNum(t *testing.T) {
+	if trimNum(4) != "4" || trimNum(0.5) != "0.5" {
+		t.Errorf("trimNum: %q %q", trimNum(4), trimNum(0.5))
+	}
+}
+
+func TestScatterChartSVG(t *testing.T) {
+	c := ScatterChart{
+		Title:     "Fig 2",
+		XLabel:    "4KB reuse",
+		YLabel:    "2MB reuse",
+		Threshold: 1024,
+		Classes: []ScatterClass{
+			{Name: "TLB-friendly", X: []float64{10, 100}, Y: []float64{5, 40}},
+			{Name: "HUB", X: []float64{5000, 90000}, Y: []float64{30, 200}},
+			{Name: "low-reuse", X: []float64{80000}, Y: []float64{70000}},
+		},
+	}
+	svg := c.SVG()
+	if got := strings.Count(svg, "<circle"); got < 5+3 { // points + legend dots
+		t.Errorf("circle count = %d", got)
+	}
+	for _, want := range []string{"TLB-friendly", "HUB", "low-reuse", "1e3", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestScatterChartEmpty(t *testing.T) {
+	c := ScatterChart{Title: "empty"}
+	if !strings.Contains(c.SVG(), "<svg") {
+		t.Error("empty scatter must render")
+	}
+}

@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ScatterClass is one class of points sharing a color (Fig. 2's
+// TLB-friendly / HUB / low-reuse taxonomy).
+type ScatterClass struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// ScatterChart renders classified points on log-log axes, matching the
+// paper's Fig. 2 presentation (4KB page reuse distance vs 2MB region reuse
+// distance).
+type ScatterChart struct {
+	Title     string
+	XLabel    string
+	YLabel    string
+	Classes   []ScatterClass
+	Threshold float64 // classification boundary drawn on both axes
+}
+
+// SVG renders the scatter chart.
+func (c ScatterChart) SVG() string {
+	var b strings.Builder
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, cl := range c.Classes {
+		for i := range cl.X {
+			minV = math.Min(minV, math.Max(cl.X[i], 1))
+			maxV = math.Max(maxV, cl.X[i])
+			minV = math.Min(minV, math.Max(cl.Y[i], 1))
+			maxV = math.Max(maxV, cl.Y[i])
+		}
+	}
+	if math.IsInf(minV, 1) {
+		minV, maxV = 1, 10
+	}
+	if minV < 1 {
+		minV = 1
+	}
+	lmin, lmax := math.Log10(minV), math.Log10(maxV)
+	if lmax == lmin {
+		lmax = lmin + 1
+	}
+	px := func(v float64) float64 {
+		if v < 1 {
+			v = 1
+		}
+		return marginL + (math.Log10(v)-lmin)/(lmax-lmin)*(width-marginL-marginR)
+	}
+	py := func(v float64) float64 {
+		if v < 1 {
+			v = 1
+		}
+		return float64(height-marginB) - (math.Log10(v)-lmin)/(lmax-lmin)*float64(height-marginT-marginB)
+	}
+
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`, marginL, escape(c.Title))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT, marginL, height-marginB)
+
+	// Decade ticks.
+	for d := math.Ceil(lmin); d <= lmax; d++ {
+		v := math.Pow(10, d)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">1e%.0f</text>`,
+			px(v), height-marginB+16, d)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">1e%.0f</text>`,
+			marginL-6, py(v)+3, d)
+	}
+
+	// Threshold guides.
+	if c.Threshold > 0 {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#888888" stroke-dasharray="5,5"/>`,
+			px(c.Threshold), marginT, px(c.Threshold), height-marginB)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#888888" stroke-dasharray="5,5"/>`,
+			marginL, py(c.Threshold), width-marginR, py(c.Threshold))
+	}
+
+	for i, cl := range c.Classes {
+		color := palette[(i+2)%len(palette)] // green/HUB-blue/vermillion-ish spread
+		for j := range cl.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s" fill-opacity="0.55"/>`,
+				px(cl.X[j]), py(cl.Y[j]), color)
+		}
+	}
+
+	// Legend.
+	lx, ly := width-marginR-170, marginT+10
+	for i, cl := range c.Classes {
+		color := palette[(i+2)%len(palette)]
+		fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="4" fill="%s"/>`, lx, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`, lx+10, ly+4, escape(cl.Name))
+		ly += 16
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`,
+		(marginL+width-marginR)/2, height-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, escape(c.YLabel))
+	b.WriteString(`</svg>`)
+	return b.String()
+}

@@ -1,0 +1,330 @@
+// Package ptw models the x86-64 4-level radix page table, the hardware page
+// table walker that services last-level TLB misses, the per-entry accessed
+// bits the PCC's cold-miss filter relies on, and a page walk cache (PWC)
+// that shortens walks by caching upper-level entries.
+//
+// Terminology follows Linux: the levels from root to leaf are PGD (level 4,
+// 512GB per entry), PUD (level 3, 1GB per entry — where 1GB pages map), PMD
+// (level 2, 2MB per entry — where 2MB pages map), and PTE (level 1, 4KB).
+package ptw
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+)
+
+// Level identifies a page table level.
+type Level int
+
+const (
+	// PTE is the leaf level mapping 4KB pages.
+	PTE Level = 1
+	// PMD maps 2MB per entry; 2MB huge pages terminate here.
+	PMD Level = 2
+	// PUD maps 1GB per entry; 1GB pages terminate here.
+	PUD Level = 3
+	// PGD is the root level, 512GB per entry.
+	PGD Level = 4
+)
+
+func (l Level) String() string {
+	switch l {
+	case PTE:
+		return "PTE"
+	case PMD:
+		return "PMD"
+	case PUD:
+		return "PUD"
+	case PGD:
+		return "PGD"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Span returns the bytes of virtual address space one entry at level l maps.
+func (l Level) Span() uint64 {
+	// PTE entry: 4KB; each level up multiplies by 512.
+	return uint64(mem.Page4K) << (9 * uint(l-1))
+}
+
+// shift returns the right-shift that yields the entry index space for l.
+func (l Level) shift() uint { return 12 + 9*uint(l-1) }
+
+// node is one page-table page: 512 entries plus their accessed bits.
+// Children are allocated lazily as the simulated address space is touched.
+type node struct {
+	children [512]*node // nil at leaf level or when not yet populated
+	accessed [512]bool  // hardware accessed bit per entry
+	present  [512]bool  // entry exists (backed memory)
+	isLeaf   [512]bool  // entry terminates the walk (huge page or PTE)
+}
+
+// Table is one address space's page table. It tracks, per 4KB/2MB/1GB
+// region, whether the mapping exists and at what size, and maintains
+// accessed bits at every level exactly like the hardware: a walk sets the
+// accessed bit of every entry it traverses.
+type Table struct {
+	root *node
+
+	// mapped pages by size, for accounting.
+	count4K uint64
+	count2M uint64
+	count1G uint64
+}
+
+// NewTable returns an empty page table.
+func NewTable() *Table {
+	return &Table{root: &node{}}
+}
+
+func index(a mem.VirtAddr, l Level) int {
+	return int((uint64(a) >> l.shift()) & 0x1ff)
+}
+
+// Map installs a mapping of the given size covering address a. The address
+// is aligned down to the page boundary. Mapping a 2MB page removes any 4KB
+// leaf table underneath (the PMD entry becomes a leaf), modelling promotion
+// collapsing PTEs; mapping 4KB pages under a region currently mapped huge
+// first splits the huge mapping (demotion is handled by Unmap+Map by the
+// caller; Map panics on conflicting huge leaf to surface policy bugs).
+func (t *Table) Map(a mem.VirtAddr, size mem.PageSize) {
+	a = mem.PageBase(a, size)
+	leafLevel := leafFor(size)
+	n := t.root
+	for l := PGD; l > leafLevel; l-- {
+		i := index(a, l)
+		if n.isLeaf[i] {
+			panic(fmt.Sprintf("ptw: mapping %v at %#x conflicts with huge leaf at %v", size, uint64(a), l))
+		}
+		if n.children[i] == nil {
+			n.children[i] = &node{}
+			n.present[i] = true
+		}
+		n = n.children[i]
+	}
+	i := index(a, leafLevel)
+	if n.present[i] && n.isLeaf[i] {
+		return // already mapped at this size
+	}
+	if n.children[i] != nil {
+		// Collapsing: a finer-grained subtree existed (e.g. PTEs being
+		// replaced by one huge PMD entry). Drop it and adjust counts.
+		t.subtractSubtree(n.children[i], leafLevel-1)
+		n.children[i] = nil
+	}
+	n.present[i] = true
+	n.isLeaf[i] = true
+	n.accessed[i] = false
+	t.addCount(size, 1)
+}
+
+// subtractSubtree removes the page counts contributed by a subtree whose
+// root's children live at level l.
+func (t *Table) subtractSubtree(n *node, l Level) {
+	for i := 0; i < 512; i++ {
+		if !n.present[i] {
+			continue
+		}
+		if n.isLeaf[i] {
+			t.addCount(sizeFor(l), ^uint64(0)) // -1
+		} else if n.children[i] != nil {
+			t.subtractSubtree(n.children[i], l-1)
+		}
+	}
+}
+
+func (t *Table) addCount(size mem.PageSize, delta uint64) {
+	switch size {
+	case mem.Page4K:
+		t.count4K += delta
+	case mem.Page2M:
+		t.count2M += delta
+	case mem.Page1G:
+		t.count1G += delta
+	}
+}
+
+// Unmap removes the leaf mapping of the given size at a (aligned down). It
+// is a no-op if no such mapping exists. Used for demotion: unmap the 2MB
+// leaf, then Map the constituent 4KB pages.
+func (t *Table) Unmap(a mem.VirtAddr, size mem.PageSize) {
+	a = mem.PageBase(a, size)
+	leafLevel := leafFor(size)
+	n := t.root
+	for l := PGD; l > leafLevel; l-- {
+		i := index(a, l)
+		if n.children[i] == nil {
+			return
+		}
+		n = n.children[i]
+	}
+	i := index(a, leafLevel)
+	if n.present[i] && n.isLeaf[i] {
+		n.present[i] = false
+		n.isLeaf[i] = false
+		n.accessed[i] = false
+		t.addCount(size, ^uint64(0))
+	}
+}
+
+// leafFor returns the level at which a page of the given size terminates.
+func leafFor(size mem.PageSize) Level {
+	switch size {
+	case mem.Page4K:
+		return PTE
+	case mem.Page2M:
+		return PMD
+	case mem.Page1G:
+		return PUD
+	}
+	panic(fmt.Sprintf("ptw: invalid page size %v", size))
+}
+
+// sizeFor is the inverse of leafFor.
+func sizeFor(l Level) mem.PageSize {
+	switch l {
+	case PTE:
+		return mem.Page4K
+	case PMD:
+		return mem.Page2M
+	case PUD:
+		return mem.Page1G
+	}
+	panic(fmt.Sprintf("ptw: level %v has no page size", l))
+}
+
+// MappedSize returns the page size a is currently mapped with, or (0,false)
+// if unmapped.
+func (t *Table) MappedSize(a mem.VirtAddr) (mem.PageSize, bool) {
+	n := t.root
+	for l := PGD; l >= PTE; l-- {
+		i := index(a, l)
+		if !n.present[i] {
+			return 0, false
+		}
+		if n.isLeaf[i] {
+			switch l {
+			case PUD:
+				return mem.Page1G, true
+			case PMD:
+				return mem.Page2M, true
+			case PTE:
+				return mem.Page4K, true
+			default:
+				return 0, false
+			}
+		}
+		if n.children[i] == nil {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+	return 0, false
+}
+
+// Counts returns the number of mapped pages at each size.
+func (t *Table) Counts() (p4k, p2m, p1g uint64) {
+	return t.count4K, t.count2M, t.count1G
+}
+
+// WalkInfo reports what a hardware walk of address a observed. The accessed
+// bits are sampled *before* the walk sets them: the PCC's cold-miss filter
+// needs to know whether the region had been touched before this walk.
+type WalkInfo struct {
+	// Size is the page size the leaf entry maps.
+	Size mem.PageSize
+	// Levels is the number of page table levels the walker had to read
+	// from memory (after PWC hits are discounted by the Walker).
+	Levels int
+	// PUDWasAccessed is the accessed bit of the 1GB-level entry before
+	// this walk (gates 1GB PCC insertion).
+	PUDWasAccessed bool
+	// PMDWasAccessed is the accessed bit of the 2MB-level entry before
+	// this walk (gates 2MB PCC insertion). False when the leaf is at PUD.
+	PMDWasAccessed bool
+	// Mapped is false if the address had no translation (a simulated page
+	// fault; the caller maps it and retries).
+	Mapped bool
+}
+
+// Walk performs a full hardware page table walk for a, setting accessed bits
+// along the way, and returns what it saw. The raw number of levels touched
+// is returned; the Walker applies the PWC to discount cached upper levels.
+func (t *Table) Walk(a mem.VirtAddr) WalkInfo {
+	info := WalkInfo{}
+	n := t.root
+	for l := PGD; l >= PTE; l-- {
+		i := index(a, l)
+		info.Levels++
+		if !n.present[i] {
+			return info // not mapped: page fault
+		}
+		// Sample the accessed bit before setting it: the filter asks
+		// "was this region warm before this walk?".
+		switch l {
+		case PUD:
+			info.PUDWasAccessed = n.accessed[i]
+		case PMD:
+			info.PMDWasAccessed = n.accessed[i]
+		}
+		n.accessed[i] = true
+		if n.isLeaf[i] {
+			info.Mapped = true
+			info.Size = sizeFor(l)
+			return info
+		}
+		if n.children[i] == nil {
+			return info
+		}
+		n = n.children[i]
+	}
+	return info
+}
+
+// ClearAccessed clears the accessed bits across the whole table at or below
+// the given level. HawkEye-style software scanning uses this to sample page
+// activity; passing PGD clears everything.
+func (t *Table) ClearAccessed(upTo Level) {
+	t.clearAccessed(t.root, PGD, upTo)
+}
+
+func (t *Table) clearAccessed(n *node, l, upTo Level) {
+	for i := 0; i < 512; i++ {
+		if l <= upTo {
+			n.accessed[i] = false
+		}
+		if n.children[i] != nil {
+			t.clearAccessed(n.children[i], l-1, upTo)
+		}
+	}
+}
+
+// Accessed4K reports whether the PTE for the 4KB page containing a has its
+// accessed bit set (software sampling path used by the HawkEye model).
+func (t *Table) Accessed4K(a mem.VirtAddr) bool {
+	n := t.root
+	for l := PGD; l > PTE; l-- {
+		i := index(a, l)
+		if !n.present[i] || n.isLeaf[i] || n.children[i] == nil {
+			return false
+		}
+		n = n.children[i]
+	}
+	i := index(a, PTE)
+	return n.present[i] && n.accessed[i]
+}
+
+// ClearAccessed4K clears the PTE accessed bit for the 4KB page containing a,
+// if mapped. Used by software scanners after sampling.
+func (t *Table) ClearAccessed4K(a mem.VirtAddr) {
+	n := t.root
+	for l := PGD; l > PTE; l-- {
+		i := index(a, l)
+		if !n.present[i] || n.isLeaf[i] || n.children[i] == nil {
+			return
+		}
+		n = n.children[i]
+	}
+	n.accessed[index(a, PTE)] = false
+}

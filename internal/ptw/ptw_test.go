@@ -1,0 +1,361 @@
+package ptw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pccsim/internal/mem"
+)
+
+func TestLevelSpan(t *testing.T) {
+	if PTE.Span() != uint64(mem.Page4K) {
+		t.Errorf("PTE span = %d", PTE.Span())
+	}
+	if PMD.Span() != uint64(mem.Page2M) {
+		t.Errorf("PMD span = %d", PMD.Span())
+	}
+	if PUD.Span() != uint64(mem.Page1G) {
+		t.Errorf("PUD span = %d", PUD.Span())
+	}
+	if PGD.Span() != 512<<30 {
+		t.Errorf("PGD span = %d", PGD.Span())
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for _, l := range []Level{PTE, PMD, PUD, PGD} {
+		if l.String() == "" {
+			t.Errorf("level %d must stringify", int(l))
+		}
+	}
+}
+
+func TestMapWalk4K(t *testing.T) {
+	tb := NewTable()
+	a := mem.VirtAddr(0x12345000)
+	info := tb.Walk(a)
+	if info.Mapped {
+		t.Fatal("walk of empty table must fault")
+	}
+	tb.Map(a, mem.Page4K)
+	info = tb.Walk(a)
+	if !info.Mapped || info.Size != mem.Page4K {
+		t.Fatalf("walk = %+v", info)
+	}
+	if info.Levels != 4 {
+		t.Errorf("4KB walk reads 4 levels, got %d", info.Levels)
+	}
+}
+
+func TestMapWalk2M(t *testing.T) {
+	tb := NewTable()
+	a := mem.VirtAddr(5 << 21)
+	tb.Map(a, mem.Page2M)
+	info := tb.Walk(a + 0x1234)
+	if !info.Mapped || info.Size != mem.Page2M {
+		t.Fatalf("walk = %+v", info)
+	}
+	if info.Levels != 3 {
+		t.Errorf("2MB walk reads 3 levels, got %d", info.Levels)
+	}
+}
+
+func TestMapWalk1G(t *testing.T) {
+	tb := NewTable()
+	tb.Map(2<<30, mem.Page1G)
+	info := tb.Walk(2<<30 + 12345)
+	if !info.Mapped || info.Size != mem.Page1G {
+		t.Fatalf("walk = %+v", info)
+	}
+	if info.Levels != 2 {
+		t.Errorf("1GB walk reads 2 levels, got %d", info.Levels)
+	}
+}
+
+func TestAccessedBitsPrewalkSampling(t *testing.T) {
+	tb := NewTable()
+	a := mem.VirtAddr(7 << 21)
+	tb.Map(a, mem.Page4K)
+	tb.Map(a+0x1000, mem.Page4K)
+
+	info := tb.Walk(a)
+	if info.PMDWasAccessed {
+		t.Error("first walk in region must see cold PMD bit")
+	}
+	info = tb.Walk(a + 0x1000)
+	if !info.PMDWasAccessed {
+		t.Error("second walk in region must see warm PMD bit")
+	}
+	if !info.PUDWasAccessed {
+		t.Error("second walk must see warm PUD bit too")
+	}
+}
+
+func TestMapCollapsesPTEs(t *testing.T) {
+	tb := NewTable()
+	base := mem.VirtAddr(3 << 21)
+	for i := 0; i < 512; i++ {
+		tb.Map(base+mem.VirtAddr(i*0x1000), mem.Page4K)
+	}
+	p4, p2, _ := tb.Counts()
+	if p4 != 512 || p2 != 0 {
+		t.Fatalf("counts = %d/%d", p4, p2)
+	}
+	// Promotion: map the whole region huge; the PTE subtree collapses.
+	tb.Map(base, mem.Page2M)
+	p4, p2, _ = tb.Counts()
+	if p4 != 0 || p2 != 1 {
+		t.Fatalf("post-collapse counts = %d/%d, want 0/1", p4, p2)
+	}
+	if s, ok := tb.MappedSize(base + 0x5000); !ok || s != mem.Page2M {
+		t.Errorf("MappedSize = %v,%v", s, ok)
+	}
+}
+
+func TestMapIdempotent(t *testing.T) {
+	tb := NewTable()
+	tb.Map(0x1000, mem.Page4K)
+	tb.Map(0x1000, mem.Page4K)
+	p4, _, _ := tb.Counts()
+	if p4 != 1 {
+		t.Errorf("remap must not double count, got %d", p4)
+	}
+}
+
+func TestUnmapAndRemapDemotion(t *testing.T) {
+	tb := NewTable()
+	base := mem.VirtAddr(9 << 21)
+	tb.Map(base, mem.Page2M)
+	tb.Unmap(base, mem.Page2M)
+	if _, ok := tb.MappedSize(base); ok {
+		t.Fatal("unmapped region must not resolve")
+	}
+	// Demotion: remap as base pages.
+	for i := 0; i < 512; i++ {
+		tb.Map(base+mem.VirtAddr(i*0x1000), mem.Page4K)
+	}
+	p4, p2, _ := tb.Counts()
+	if p4 != 512 || p2 != 0 {
+		t.Fatalf("post-demotion counts = %d/%d", p4, p2)
+	}
+}
+
+func TestUnmapMissingIsNoop(t *testing.T) {
+	tb := NewTable()
+	tb.Unmap(0x4000, mem.Page4K) // must not panic
+	tb.Unmap(2<<21, mem.Page2M)
+	p4, p2, p1 := tb.Counts()
+	if p4+p2+p1 != 0 {
+		t.Error("counts must stay zero")
+	}
+}
+
+func TestMapConflictPanics(t *testing.T) {
+	tb := NewTable()
+	tb.Map(0, mem.Page2M)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mapping 4K under a huge leaf must panic")
+		}
+	}()
+	tb.Map(0x1000, mem.Page4K)
+}
+
+func TestMappedSize(t *testing.T) {
+	tb := NewTable()
+	if _, ok := tb.MappedSize(0x1000); ok {
+		t.Error("empty table must not resolve")
+	}
+	tb.Map(0x1000, mem.Page4K)
+	if s, ok := tb.MappedSize(0x1fff); !ok || s != mem.Page4K {
+		t.Errorf("= %v,%v", s, ok)
+	}
+	if _, ok := tb.MappedSize(0x2000); ok {
+		t.Error("adjacent page must not resolve")
+	}
+}
+
+func TestAccessed4KSampleAndClear(t *testing.T) {
+	tb := NewTable()
+	a := mem.VirtAddr(0x1000)
+	tb.Map(a, mem.Page4K)
+	if tb.Accessed4K(a) {
+		t.Fatal("fresh mapping must be cold")
+	}
+	tb.Walk(a)
+	if !tb.Accessed4K(a) {
+		t.Fatal("walk must set the PTE accessed bit")
+	}
+	tb.ClearAccessed4K(a)
+	if tb.Accessed4K(a) {
+		t.Fatal("clear must reset the bit")
+	}
+	tb.Walk(a)
+	if !tb.Accessed4K(a) {
+		t.Fatal("re-walk must re-set the bit")
+	}
+}
+
+func TestClearAccessedTree(t *testing.T) {
+	tb := NewTable()
+	a := mem.VirtAddr(0x5000)
+	tb.Map(a, mem.Page4K)
+	tb.Walk(a)
+	tb.ClearAccessed(PGD)
+	if tb.Accessed4K(a) {
+		t.Error("tree-wide clear must reach PTEs")
+	}
+	info := tb.Walk(a)
+	if info.PMDWasAccessed || info.PUDWasAccessed {
+		t.Error("tree-wide clear must reach upper levels")
+	}
+}
+
+func TestWalkerPWCSkipsLevels(t *testing.T) {
+	tb := NewTable()
+	w := NewWalker(DefaultPWCConfig())
+	a := mem.VirtAddr(0x12345000)
+	b := a + 0x1000 // same PMD
+	tb.Map(a, mem.Page4K)
+	tb.Map(b, mem.Page4K)
+
+	i1 := w.Walk(tb, a)
+	if i1.Levels != 4 {
+		t.Fatalf("cold walk levels = %d, want 4", i1.Levels)
+	}
+	i2 := w.Walk(tb, b)
+	if i2.Levels != 1 {
+		t.Fatalf("PWC-covered walk levels = %d, want 1 (PMD cached)", i2.Levels)
+	}
+	st := w.Stats()
+	if st.Walks != 2 || st.PWCHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if rpw := st.RefsPerWalk(); rpw != 2.5 {
+		t.Errorf("refs/walk = %v, want 2.5", rpw)
+	}
+}
+
+func TestWalkerFaultCounting(t *testing.T) {
+	tb := NewTable()
+	w := NewWalker(DefaultPWCConfig())
+	info := w.Walk(tb, 0x1000)
+	if info.Mapped {
+		t.Fatal("unmapped walk must fault")
+	}
+	if w.Stats().Faults != 1 {
+		t.Errorf("faults = %d", w.Stats().Faults)
+	}
+}
+
+func TestWalkerSizeCounters(t *testing.T) {
+	tb := NewTable()
+	w := NewWalker(PWCConfig{}) // no PWC
+	tb.Map(0, mem.Page4K)
+	tb.Map(1<<21, mem.Page2M)
+	tb.Map(1<<30, mem.Page1G)
+	w.Walk(tb, 0)
+	w.Walk(tb, 1<<21)
+	w.Walk(tb, 1<<30)
+	st := w.Stats()
+	if st.Walks4K != 1 || st.Walks2M != 1 || st.Walks1G != 1 {
+		t.Errorf("size counters = %+v", st)
+	}
+	// Without PWC: 4+3+2 levels.
+	if st.LevelsRead != 9 {
+		t.Errorf("levels read = %d, want 9", st.LevelsRead)
+	}
+}
+
+func TestWalkerInvalidateRange(t *testing.T) {
+	tb := NewTable()
+	w := NewWalker(DefaultPWCConfig())
+	a := mem.VirtAddr(0x12345000)
+	tb.Map(a, mem.Page4K)
+	w.Walk(tb, a)
+	// Invalidate the covering 2MB region. Like INVLPG, this drops every
+	// paging-structure cache entry whose span overlaps the range — the
+	// PMD entry and, conservatively, the covering PUD/PGD entries too.
+	r := mem.RegionOf(a, mem.Page2M)
+	w.InvalidateRange(mem.Range{Start: r.Base, End: r.End()})
+	tb.Map(a+0x1000, mem.Page4K)
+	info := w.Walk(tb, a+0x1000)
+	if info.Levels != 4 {
+		t.Errorf("levels = %d, want 4 (all covering PWC entries dropped)", info.Levels)
+	}
+	// An address in a different 1GB region keeps its own PWC path: walk
+	// it twice and confirm the second walk is shortened again.
+	far := a + mem.VirtAddr(4<<30)
+	tb.Map(far, mem.Page4K)
+	tb.Map(far+0x1000, mem.Page4K)
+	w.Walk(tb, far)
+	if info := w.Walk(tb, far+0x1000); info.Levels != 1 {
+		t.Errorf("unrelated region walk levels = %d, want 1", info.Levels)
+	}
+}
+
+func TestWalkerFlush(t *testing.T) {
+	tb := NewTable()
+	w := NewWalker(DefaultPWCConfig())
+	a := mem.VirtAddr(0x2000)
+	tb.Map(a, mem.Page4K)
+	w.Walk(tb, a)
+	w.Flush()
+	tb.Map(a+0x1000, mem.Page4K)
+	info := w.Walk(tb, a+0x1000)
+	if info.Levels != 4 {
+		t.Errorf("post-flush walk levels = %d, want 4", info.Levels)
+	}
+}
+
+func TestCountsNeverNegativeProperty(t *testing.T) {
+	// Property: random map/unmap/promote sequences keep counts consistent
+	// with a shadow model.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable()
+		shadow4 := map[mem.VirtAddr]bool{}
+		shadow2 := map[mem.VirtAddr]bool{}
+		for i := 0; i < 300; i++ {
+			region := mem.VirtAddr(rng.Intn(8)) << 21
+			page := region + mem.VirtAddr(rng.Intn(512))<<12
+			switch rng.Intn(3) {
+			case 0: // map 4K if region not huge
+				if !shadow2[region] {
+					tb.Map(page, mem.Page4K)
+					shadow4[page] = true
+				}
+			case 1: // promote region
+				tb.Map(region, mem.Page2M)
+				shadow2[region] = true
+				for p := range shadow4 {
+					if mem.PageBase(p, mem.Page2M) == region {
+						delete(shadow4, p)
+					}
+				}
+			case 2: // demote region
+				if shadow2[region] {
+					tb.Unmap(region, mem.Page2M)
+					delete(shadow2, region)
+				}
+			}
+		}
+		p4, p2, _ := tb.Counts()
+		return p4 == uint64(len(shadow4)) && p2 == uint64(len(shadow2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkerStatsString(t *testing.T) {
+	w := NewWalker(DefaultPWCConfig())
+	if w.Stats().String() == "" {
+		t.Error("stats must stringify")
+	}
+	w.ResetStats()
+	if w.Stats().Walks != 0 {
+		t.Error("reset must zero walks")
+	}
+}

@@ -1,0 +1,232 @@
+package ptw
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+)
+
+// PWCConfig configures the page walk cache: small fully-associative caches
+// of PGD-, PUD- and PMD-level entries that let the walker skip upper levels.
+// Intel-style MMU caches; §5.4.1 of the paper discusses why the PWC cannot
+// replace the PCC (it lacks page-size attribution and frequency counts) —
+// but it matters for walk latency, so we model it.
+type PWCConfig struct {
+	PGDEntries int
+	PUDEntries int
+	PMDEntries int
+}
+
+// DefaultPWCConfig returns a typical MMU-cache geometry.
+func DefaultPWCConfig() PWCConfig {
+	return PWCConfig{PGDEntries: 2, PUDEntries: 4, PMDEntries: 32}
+}
+
+// pwcCache is one fully-associative level cache with LRU replacement, keyed
+// by the entry index prefix for its level.
+type pwcCache struct {
+	cap   int
+	tick  uint64
+	tags  []uint64
+	lru   []uint64
+	valid []bool
+	hits  uint64
+	miss  uint64
+}
+
+func newPWCCache(capacity int) *pwcCache {
+	return &pwcCache{
+		cap:   capacity,
+		tags:  make([]uint64, capacity),
+		lru:   make([]uint64, capacity),
+		valid: make([]bool, capacity),
+	}
+}
+
+func (c *pwcCache) lookup(tag uint64) bool {
+	if c.cap == 0 {
+		return false
+	}
+	c.tick++
+	for i := 0; i < c.cap; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.lru[i] = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.miss++
+	return false
+}
+
+func (c *pwcCache) insert(tag uint64) {
+	if c.cap == 0 {
+		return
+	}
+	c.tick++
+	victim := 0
+	for i := 0; i < c.cap; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.lru[i] = c.tick
+			return
+		}
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.tick
+	c.valid[victim] = true
+}
+
+func (c *pwcCache) flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// WalkerStats counts walker activity.
+type WalkerStats struct {
+	Walks        uint64 // total walks performed
+	Faults       uint64 // walks that found no mapping
+	LevelsRead   uint64 // memory references issued (post-PWC)
+	PWCHits      uint64
+	PWCLookups   uint64
+	Walks4K      uint64 // walks that resolved to a 4KB leaf
+	Walks2M      uint64
+	Walks1G      uint64
+	ColdFiltered uint64 // walks whose region access-bit was cold (PCC skip)
+}
+
+// RefsPerWalk returns average memory references per walk, the PWC
+// effectiveness metric (§5.4.1 cites 1.1–1.4 refs/walk).
+func (s WalkerStats) RefsPerWalk() float64 {
+	if s.Walks == 0 {
+		return 0
+	}
+	return float64(s.LevelsRead) / float64(s.Walks)
+}
+
+func (s WalkerStats) String() string {
+	return fmt.Sprintf("walks=%d faults=%d refs/walk=%.2f", s.Walks, s.Faults, s.RefsPerWalk())
+}
+
+// Walker is one core's hardware page table walker with its MMU caches.
+// It services last-level TLB misses against a Table and reports the walk
+// result (including the pre-walk accessed-bit state the PCC filter needs).
+type Walker struct {
+	pgd   *pwcCache
+	pud   *pwcCache
+	pmd   *pwcCache
+	stats WalkerStats
+}
+
+// NewWalker builds a walker with the given PWC geometry.
+func NewWalker(cfg PWCConfig) *Walker {
+	return &Walker{
+		pgd: newPWCCache(cfg.PGDEntries),
+		pud: newPWCCache(cfg.PUDEntries),
+		pmd: newPWCCache(cfg.PMDEntries),
+	}
+}
+
+// Walk performs a page table walk for address a in table t, consulting the
+// PWC to skip cached upper levels, and returns the walk info with Levels
+// adjusted for PWC hits.
+func (w *Walker) Walk(t *Table, a mem.VirtAddr) WalkInfo {
+	w.stats.Walks++
+	info := t.Walk(a)
+
+	// PWC: determine the deepest cached level; the walker starts below it.
+	skipped := 0
+	pgdTag := uint64(a) >> PGD.shift()
+	pudTag := uint64(a) >> PUD.shift()
+	pmdTag := uint64(a) >> PMD.shift()
+
+	w.stats.PWCLookups++
+	if w.pmd.lookup(pmdTag) && info.Size == mem.Page4K {
+		// PMD-level entry cached: only the PTE read remains.
+		skipped = 3
+		w.stats.PWCHits++
+	} else if w.pud.lookup(pudTag) && info.Size != mem.Page1G {
+		skipped = 2
+		w.stats.PWCHits++
+	} else if w.pgd.lookup(pgdTag) {
+		skipped = 1
+		w.stats.PWCHits++
+	}
+
+	if info.Mapped {
+		// Refill PWC with the upper levels this walk traversed.
+		w.pgd.insert(pgdTag)
+		if info.Size != mem.Page1G {
+			w.pud.insert(pudTag)
+		}
+		if info.Size == mem.Page4K {
+			w.pmd.insert(pmdTag)
+		}
+		switch info.Size {
+		case mem.Page4K:
+			w.stats.Walks4K++
+		case mem.Page2M:
+			w.stats.Walks2M++
+		case mem.Page1G:
+			w.stats.Walks1G++
+		}
+	} else {
+		w.stats.Faults++
+	}
+
+	if skipped > info.Levels-1 {
+		skipped = info.Levels - 1 // at least the leaf must be read
+	}
+	if skipped < 0 {
+		skipped = 0
+	}
+	info.Levels -= skipped
+	w.stats.LevelsRead += uint64(info.Levels)
+	return info
+}
+
+// NoteColdFiltered records that the PCC filter skipped this walk's region
+// because its access bit was cold (bookkeeping used by the ablation bench).
+func (w *Walker) NoteColdFiltered() { w.stats.ColdFiltered++ }
+
+// InvalidateRange drops PWC entries overlapping the virtual range. Called on
+// shootdowns; conservative (flushes all three caches if any overlap could
+// exist) would be correct but needlessly slow, so we match per-level tags.
+func (w *Walker) InvalidateRange(r mem.Range) {
+	invalidate := func(c *pwcCache, shift uint) {
+		span := uint64(1) << shift
+		for i := 0; i < c.cap; i++ {
+			if !c.valid[i] {
+				continue
+			}
+			base := mem.VirtAddr(c.tags[i] << shift)
+			pr := mem.Range{Start: base, End: base + mem.VirtAddr(span)}
+			if pr.Overlaps(r) {
+				c.valid[i] = false
+			}
+		}
+	}
+	invalidate(w.pgd, PGD.shift())
+	invalidate(w.pud, PUD.shift())
+	invalidate(w.pmd, PMD.shift())
+}
+
+// Flush empties every PWC level.
+func (w *Walker) Flush() {
+	w.pgd.flush()
+	w.pud.flush()
+	w.pmd.flush()
+}
+
+// Stats returns a copy of the counters.
+func (w *Walker) Stats() WalkerStats { return w.stats }
+
+// ResetStats zeroes the counters.
+func (w *Walker) ResetStats() { w.stats = WalkerStats{} }

@@ -1,0 +1,36 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+
+	"pccsim/internal/mem"
+)
+
+// BenchmarkHierarchyHit measures the L1-hit fast path.
+func BenchmarkHierarchyHit(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.Fill(0x1000, mem.Page4K)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0x1000, mem.Page4K)
+	}
+}
+
+// BenchmarkHierarchyThrash measures lookup+fill under a working set far
+// beyond capacity (the graph-workload regime).
+func BenchmarkHierarchyThrash(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]mem.VirtAddr, 1<<14)
+	for i := range addrs {
+		addrs[i] = mem.VirtAddr(rng.Intn(1<<20)) << 12
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i%len(addrs)]
+		if h.Access(a, mem.Page4K) == Miss {
+			h.Fill(a, mem.Page4K)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package tlb
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+)
+
+// HierarchyConfig describes the full data-TLB hierarchy of one core,
+// mirroring Table 2 of the paper (Intel Xeon E5-2667 v3).
+type HierarchyConfig struct {
+	L1D4K Config // L1 D-TLB for 4KB pages
+	L1D2M Config // L1 D-TLB for 2MB pages
+	L1D1G Config // L1 D-TLB for 1GB pages
+	L2    Config // unified L2 TLB (4KB & 2MB)
+	// L2Holds1G controls whether the L2 also caches 1GB translations.
+	// Haswell's L2 STLB does not, which is the default (false).
+	L2Holds1G bool
+}
+
+// DefaultHierarchyConfig returns the Table 2 hierarchy:
+//
+//	L1 D-TLB 4KB: 64 entries, 4-way;  2MB: 32 entries, 4-way;  1GB: 4 entries, 4-way
+//	L2 unified (4KB & 2MB): 1024 entries, 8-way
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1D4K: Config{Name: "L1D-4K", Entries: 64, Ways: 4},
+		L1D2M: Config{Name: "L1D-2M", Entries: 32, Ways: 4},
+		L1D1G: Config{Name: "L1D-1G", Entries: 4, Ways: 4},
+		L2:    Config{Name: "L2", Entries: 1024, Ways: 8},
+	}
+}
+
+// Result describes where a translation was found.
+type Result int
+
+const (
+	// HitL1 means the translation hit in the first-level TLB.
+	HitL1 Result = iota
+	// HitL2 means it missed L1 but hit the unified second-level TLB.
+	HitL2
+	// Miss means it missed the whole hierarchy and a page table walk is
+	// required.
+	Miss
+)
+
+func (r Result) String() string {
+	switch r {
+	case HitL1:
+		return "L1 hit"
+	case HitL2:
+		return "L2 hit"
+	case Miss:
+		return "miss"
+	}
+	return fmt.Sprintf("Result(%d)", int(r))
+}
+
+// Hierarchy is the per-core data-TLB hierarchy: three split L1 structures
+// (one per page size) backed by a unified L2. A lookup probes the L1 for the
+// page size the address is currently mapped at, then the L2, and reports
+// where it hit. Fills are performed on the way back (L2 then L1), modelling
+// an inclusive fill path.
+type Hierarchy struct {
+	l1        [3]*TLB // indexed by sizeIndex
+	l2        *TLB
+	l2Holds1G bool
+	accesses  uint64
+	walks     uint64
+}
+
+func sizeIndex(s mem.PageSize) int {
+	switch s {
+	case mem.Page4K:
+		return 0
+	case mem.Page2M:
+		return 1
+	case mem.Page1G:
+		return 2
+	}
+	panic(fmt.Sprintf("tlb: invalid page size %v", s))
+}
+
+// NewHierarchy builds the per-core hierarchy from cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		l1: [3]*TLB{
+			New(cfg.L1D4K),
+			New(cfg.L1D2M),
+			New(cfg.L1D1G),
+		},
+		l2:        New(cfg.L2),
+		l2Holds1G: cfg.L2Holds1G,
+	}
+}
+
+// Access translates address a, which is currently mapped with page size
+// size. It returns where the translation was found. On a full miss the
+// caller is responsible for walking the page table and then calling Fill.
+func (h *Hierarchy) Access(a mem.VirtAddr, size mem.PageSize) Result {
+	h.accesses++
+	vpn := mem.PageNumber(a, size)
+	l1 := h.l1[sizeIndex(size)]
+	if l1.Lookup(vpn, size) {
+		return HitL1
+	}
+	if size != mem.Page1G || h.l2Holds1G {
+		if h.l2.Lookup(vpn, size) {
+			// Fill into L1 on an L2 hit.
+			l1.Insert(vpn, size)
+			return HitL2
+		}
+	}
+	h.walks++
+	return Miss
+}
+
+// Fill installs the translation for a at the given page size after a page
+// table walk, into both levels.
+func (h *Hierarchy) Fill(a mem.VirtAddr, size mem.PageSize) {
+	vpn := mem.PageNumber(a, size)
+	if size != mem.Page1G || h.l2Holds1G {
+		h.l2.Insert(vpn, size)
+	}
+	h.l1[sizeIndex(size)].Insert(vpn, size)
+}
+
+// Present reports whether the translation for a at the given page size is
+// cached anywhere in the hierarchy, without perturbing LRU state or stats.
+func (h *Hierarchy) Present(a mem.VirtAddr, size mem.PageSize) bool {
+	vpn := mem.PageNumber(a, size)
+	if h.l1[sizeIndex(size)].Contains(vpn, size) {
+		return true
+	}
+	if size == mem.Page1G && !h.l2Holds1G {
+		return false
+	}
+	return h.l2.Contains(vpn, size)
+}
+
+// Shootdown invalidates every cached translation overlapping the range, at
+// every level and page size, returning the number of entries dropped. This
+// models the TLB shootdown the OS performs when it remaps a region (e.g.
+// promotion replaces 512 4KB PTEs with one 2MB PMD entry).
+func (h *Hierarchy) Shootdown(r mem.Range) int {
+	n := 0
+	for _, t := range h.l1 {
+		n += t.InvalidateRange(r)
+	}
+	n += h.l2.InvalidateRange(r)
+	return n
+}
+
+// Flush empties every structure (e.g. on context switch with ASID reuse;
+// unused in the default experiments but part of the hardware model).
+func (h *Hierarchy) Flush() {
+	for _, t := range h.l1 {
+		t.Flush()
+	}
+	h.l2.Flush()
+}
+
+// Accesses returns the total translations requested.
+func (h *Hierarchy) Accesses() uint64 { return h.accesses }
+
+// Walks returns the number of accesses that missed the entire hierarchy.
+func (h *Hierarchy) Walks() uint64 { return h.walks }
+
+// MissRate returns hierarchy-wide walk rate (paper's "TLB Miss %" /
+// "PTW %"): page table walks per access.
+func (h *Hierarchy) MissRate() float64 {
+	if h.accesses == 0 {
+		return 0
+	}
+	return float64(h.walks) / float64(h.accesses)
+}
+
+// L1 returns the L1 TLB for a page size (for stats and tests).
+func (h *Hierarchy) L1(size mem.PageSize) *TLB { return h.l1[sizeIndex(size)] }
+
+// L2 returns the unified second-level TLB.
+func (h *Hierarchy) L2() *TLB { return h.l2 }
+
+// ResetStats clears all counters in every level and the hierarchy itself.
+func (h *Hierarchy) ResetStats() {
+	for _, t := range h.l1 {
+		t.ResetStats()
+	}
+	h.l2.ResetStats()
+	h.accesses = 0
+	h.walks = 0
+}

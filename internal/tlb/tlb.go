@@ -1,0 +1,230 @@
+// Package tlb implements a configurable set-associative TLB simulator with
+// per-set LRU replacement, plus the two-level hierarchy (split L1 per page
+// size, unified L2) described in Table 2 of the paper.
+//
+// The TLBs cache virtual-page-number -> page-size mappings. The simulator
+// never needs the physical frame for correctness of the experiments (all
+// decisions key off hit/miss behaviour), but entries carry the page size so
+// that a promotion changes which structure caches the translation, and so
+// shootdowns can invalidate precisely.
+package tlb
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+)
+
+// Stats accumulates hit/miss counters for one TLB.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Invalidates uint64
+}
+
+// Accesses returns total lookups.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns misses / accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d (%.2f%% miss)", s.Hits, s.Misses, 100*s.MissRate())
+}
+
+type entry struct {
+	valid bool
+	vpn   mem.PageNum
+	size  mem.PageSize
+	lru   uint64 // higher = more recently used
+}
+
+// TLB is a single set-associative translation lookaside buffer for one or
+// more page sizes. Sets are indexed by the low bits of the page number.
+type TLB struct {
+	name    string
+	sets    int
+	ways    int
+	entries []entry // sets*ways, set-major
+	tick    uint64
+	stats   Stats
+
+	// OnEvict, when set, is called with each valid entry displaced by a
+	// capacity replacement (not by invalidation). The victim-tracker
+	// candidate source (§5.4.1 design alternative) hangs off this hook.
+	OnEvict func(vpn mem.PageNum, size mem.PageSize)
+}
+
+// Config describes one TLB structure.
+type Config struct {
+	Name    string
+	Entries int // total entries; must be divisible by Ways
+	Ways    int // associativity; Ways == Entries means fully associative
+}
+
+// New builds a TLB from a config. It panics on invalid geometry because TLB
+// shapes are static machine configuration, not runtime input.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("tlb: invalid geometry %d entries / %d ways", cfg.Entries, cfg.Ways))
+	}
+	return &TLB{
+		name:    cfg.Name,
+		sets:    cfg.Entries / cfg.Ways,
+		ways:    cfg.Ways,
+		entries: make([]entry, cfg.Entries),
+	}
+}
+
+// Name returns the configured display name.
+func (t *TLB) Name() string { return t.name }
+
+// Entries returns total capacity.
+func (t *TLB) Entries() int { return t.sets * t.ways }
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters but keeps contents.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+func (t *TLB) setIndex(vpn mem.PageNum) int {
+	return int(uint64(vpn) % uint64(t.sets))
+}
+
+func (t *TLB) set(vpn mem.PageNum) []entry {
+	i := t.setIndex(vpn) * t.ways
+	return t.entries[i : i+t.ways]
+}
+
+// Lookup probes the TLB for (vpn, size). On a hit the entry's recency is
+// refreshed. It does not insert on miss; use Insert for that, so that the
+// hierarchy controls fill policy.
+func (t *TLB) Lookup(vpn mem.PageNum, size mem.PageSize) bool {
+	t.tick++
+	set := t.set(vpn)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn && e.size == size {
+			e.lru = t.tick
+			t.stats.Hits++
+			return true
+		}
+	}
+	t.stats.Misses++
+	return false
+}
+
+// Insert fills (vpn, size), evicting the LRU way of the set if needed.
+// Re-inserting an existing entry refreshes it in place.
+func (t *TLB) Insert(vpn mem.PageNum, size mem.PageSize) {
+	t.tick++
+	set := t.set(vpn)
+	victim := 0
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn && e.size == size {
+			e.lru = t.tick
+			return
+		}
+		if !e.valid {
+			victim = i
+			// An invalid way is always the best victim; stop scanning
+			// for LRU but keep checking for a duplicate entry.
+			for j := i + 1; j < len(set); j++ {
+				d := &set[j]
+				if d.valid && d.vpn == vpn && d.size == size {
+					d.lru = t.tick
+					return
+				}
+			}
+			set[victim] = entry{valid: true, vpn: vpn, size: size, lru: t.tick}
+			return
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		t.stats.Evictions++
+		if t.OnEvict != nil {
+			t.OnEvict(set[victim].vpn, set[victim].size)
+		}
+	}
+	set[victim] = entry{valid: true, vpn: vpn, size: size, lru: t.tick}
+}
+
+// Contains reports whether (vpn, size) is cached, without touching LRU
+// state or statistics (a diagnostic probe, not a lookup).
+func (t *TLB) Contains(vpn mem.PageNum, size mem.PageSize) bool {
+	set := t.set(vpn)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn && e.size == size {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidatePage removes the translation for (vpn, size) if present,
+// returning whether an entry was dropped. This models a single-page
+// shootdown (INVLPG).
+func (t *TLB) InvalidatePage(vpn mem.PageNum, size mem.PageSize) bool {
+	set := t.set(vpn)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn && e.size == size {
+			e.valid = false
+			t.stats.Invalidates++
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateRange removes every entry whose page overlaps the virtual range,
+// at any page size the structure holds. It returns the number of entries
+// dropped. This is the shootdown used during promotion: all 4KB entries
+// within the promoted 2MB region must go.
+func (t *TLB) InvalidateRange(r mem.Range) int {
+	n := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue
+		}
+		base := mem.VirtAddr(uint64(e.vpn) << e.size.Shift())
+		pr := mem.Range{Start: base, End: base + mem.VirtAddr(uint64(e.size))}
+		if pr.Overlaps(r) {
+			e.valid = false
+			n++
+		}
+	}
+	t.stats.Invalidates += uint64(n)
+	return n
+}
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
+
+// Occupancy returns the number of valid entries (useful in tests).
+func (t *TLB) Occupancy() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"sort"
+
+	"pccsim/internal/mem"
+)
+
+// PageClass is the Fig. 2 taxonomy of page behaviour derived from reuse
+// distance at two page granularities.
+type PageClass int
+
+const (
+	// TLBFriendly pages have low reuse distance already at 4KB: the base
+	// page translation stays resident, so huge pages add little.
+	TLBFriendly PageClass = iota
+	// HUB (High-reUse TLB-sensitive) pages have high 4KB reuse distance
+	// but low 2MB-region reuse distance: the best promotion candidates.
+	HUB
+	// LowReuse pages have high reuse distance at both granularities:
+	// promotion cannot help them.
+	LowReuse
+)
+
+func (c PageClass) String() string {
+	switch c {
+	case TLBFriendly:
+		return "TLB-friendly"
+	case HUB:
+		return "HUB"
+	case LowReuse:
+		return "low-reuse"
+	}
+	return "unknown"
+}
+
+// PageReuse is the per-4KB-page result of the reuse analysis: the average
+// reuse distance of the page itself and of the 2MB region containing it.
+type PageReuse struct {
+	Page     mem.PageNum // 4KB page number
+	Dist4K   float64     // mean 4KB page reuse distance
+	Dist2M   float64     // mean reuse distance of the enclosing 2MB region
+	Accesses uint64      // how many times the page was touched
+	Class    PageClass
+}
+
+// ReuseAnalyzer measures page-granularity reuse distances at 4KB and 2MB
+// simultaneously, online, over a stream of accesses. Reuse distance here is
+// the paper's definition: the number of accesses to *other* pages between
+// two consecutive accesses to a given page, measured at each granularity.
+//
+// The exact stack-distance variant would cost O(log n) per access with a
+// balanced tree over millions of pages; the paper's classification only
+// needs "is the typical gap above or below the L2 TLB capacity", for which
+// the inter-access gap in page-switch counts is the faithful statistic
+// (every page switch is an access to another page).
+type ReuseAnalyzer struct {
+	// Per-granularity state: a clock that ticks once per access that goes
+	// to a *different* page than the previous access (page-switch clock),
+	// and per-page last-seen times and accumulated gaps.
+	clock4K, clock2M uint64
+	last4K           map[mem.PageNum]uint64
+	last2M           map[mem.PageNum]uint64
+	sum4K            map[mem.PageNum]float64
+	cnt4K            map[mem.PageNum]uint64
+	sum2M            map[mem.PageNum]float64
+	cnt2M            map[mem.PageNum]uint64
+	touch4K          map[mem.PageNum]uint64 // raw access counts per 4KB page
+	prev4K           mem.PageNum
+	prev2M           mem.PageNum
+	started          bool
+}
+
+// NewReuseAnalyzer returns an empty analyzer.
+func NewReuseAnalyzer() *ReuseAnalyzer {
+	return &ReuseAnalyzer{
+		last4K:  make(map[mem.PageNum]uint64),
+		last2M:  make(map[mem.PageNum]uint64),
+		sum4K:   make(map[mem.PageNum]float64),
+		cnt4K:   make(map[mem.PageNum]uint64),
+		sum2M:   make(map[mem.PageNum]float64),
+		cnt2M:   make(map[mem.PageNum]uint64),
+		touch4K: make(map[mem.PageNum]uint64),
+	}
+}
+
+// Observe feeds one access.
+func (r *ReuseAnalyzer) Observe(a mem.VirtAddr) {
+	p4 := mem.PageNumber(a, mem.Page4K)
+	p2 := mem.PageNumber(a, mem.Page2M)
+
+	if r.started {
+		if p4 != r.prev4K {
+			r.clock4K++
+		}
+		if p2 != r.prev2M {
+			r.clock2M++
+		}
+	} else {
+		r.started = true
+	}
+
+	r.touch4K[p4]++
+	if t, ok := r.last4K[p4]; ok {
+		r.sum4K[p4] += float64(r.clock4K - t)
+		r.cnt4K[p4]++
+	}
+	r.last4K[p4] = r.clock4K
+
+	if t, ok := r.last2M[p2]; ok {
+		r.sum2M[p2] += float64(r.clock2M - t)
+		r.cnt2M[p2]++
+	}
+	r.last2M[p2] = r.clock2M
+
+	r.prev4K, r.prev2M = p4, p2
+}
+
+// Drain feeds an entire stream.
+func (r *ReuseAnalyzer) Drain(s Stream) uint64 {
+	var n uint64
+	for {
+		a, ok := s.Next()
+		if !ok {
+			return n
+		}
+		r.Observe(a.Addr)
+		n++
+	}
+}
+
+// ClassifyThreshold is the "low" reuse distance boundary: the paper uses
+// 1024, a common second-level TLB entry count — pages with mean reuse
+// distance below it are likely retained in the TLB hierarchy.
+const ClassifyThreshold = 1024
+
+// Results computes the per-page characterization, sorted by page number.
+// Pages touched once have no reuse samples at 4KB; they are classified using
+// the 2MB-region reuse (cold single-touch data is TLB-friendly if its region
+// is hot, low-reuse otherwise).
+func (r *ReuseAnalyzer) Results() []PageReuse {
+	out := make([]PageReuse, 0, len(r.touch4K))
+	for p4, touches := range r.touch4K {
+		p2 := mem.PageNum(uint64(p4) >> (mem.Page2M.Shift() - mem.Page4K.Shift()))
+		pr := PageReuse{Page: p4, Accesses: touches}
+		if c := r.cnt4K[p4]; c > 0 {
+			pr.Dist4K = r.sum4K[p4] / float64(c)
+		} else {
+			// No 4KB reuse observed: treat as maximal distance.
+			pr.Dist4K = float64(r.clock4K + 1)
+		}
+		if c := r.cnt2M[p2]; c > 0 {
+			pr.Dist2M = r.sum2M[p2] / float64(c)
+		} else {
+			pr.Dist2M = float64(r.clock2M + 1)
+		}
+		pr.Class = Classify(pr.Dist4K, pr.Dist2M)
+		out = append(out, pr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
+	return out
+}
+
+// Classify applies the Fig. 2 taxonomy to a (4KB, 2MB) reuse distance pair.
+func Classify(dist4K, dist2M float64) PageClass {
+	switch {
+	case dist4K < ClassifyThreshold:
+		return TLBFriendly
+	case dist2M < ClassifyThreshold:
+		return HUB
+	default:
+		return LowReuse
+	}
+}
+
+// Summary aggregates a characterization into class counts and access-weighted
+// class shares.
+type Summary struct {
+	Pages    [3]uint64 // pages per class, indexed by PageClass
+	Accesses [3]uint64 // accesses landing on pages of each class
+}
+
+// Summarize folds per-page results into a Summary.
+func Summarize(results []PageReuse) Summary {
+	var s Summary
+	for _, r := range results {
+		s.Pages[r.Class]++
+		s.Accesses[r.Class] += r.Accesses
+	}
+	return s
+}
+
+// TotalPages returns the characterized page count.
+func (s Summary) TotalPages() uint64 { return s.Pages[0] + s.Pages[1] + s.Pages[2] }
+
+// TotalAccesses returns the access count across classes.
+func (s Summary) TotalAccesses() uint64 { return s.Accesses[0] + s.Accesses[1] + s.Accesses[2] }

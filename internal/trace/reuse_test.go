@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"pccsim/internal/mem"
+)
+
+func observeAll(r *ReuseAnalyzer, addrs []mem.VirtAddr) {
+	for _, a := range addrs {
+		r.Observe(a)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		d4, d2 float64
+		want   PageClass
+	}{
+		{10, 5, TLBFriendly},
+		{float64(ClassifyThreshold) - 1, 9999, TLBFriendly},
+		{float64(ClassifyThreshold), 10, HUB},
+		{5000, 100, HUB},
+		{5000, 5000, LowReuse},
+		{float64(ClassifyThreshold), float64(ClassifyThreshold), LowReuse},
+	}
+	for _, c := range cases {
+		if got := Classify(c.d4, c.d2); got != c.want {
+			t.Errorf("Classify(%v,%v) = %v, want %v", c.d4, c.d2, got, c.want)
+		}
+	}
+}
+
+func TestPageClassString(t *testing.T) {
+	for _, c := range []PageClass{TLBFriendly, HUB, LowReuse, PageClass(7)} {
+		if c.String() == "" {
+			t.Errorf("class %d must stringify", int(c))
+		}
+	}
+}
+
+func TestReuseSequentialIsTLBFriendly(t *testing.T) {
+	r := NewReuseAnalyzer()
+	// Repeatedly sweep 4 pages: tiny reuse distance at both sizes.
+	var seq []mem.VirtAddr
+	for rep := 0; rep < 50; rep++ {
+		for p := 0; p < 4; p++ {
+			seq = append(seq, mem.VirtAddr(p*0x1000))
+		}
+	}
+	observeAll(r, seq)
+	for _, pr := range r.Results() {
+		if pr.Class != TLBFriendly {
+			t.Errorf("page %d class = %v, want TLB-friendly (d4=%.0f d2=%.0f)",
+				pr.Page, pr.Class, pr.Dist4K, pr.Dist2M)
+		}
+	}
+}
+
+func TestReuseHUBDetection(t *testing.T) {
+	// Accesses sparse across >threshold 4KB pages within ONE 2MB region:
+	// high 4KB reuse distance, near-zero 2MB reuse distance.
+	r := NewReuseAnalyzer()
+	rng := rand.New(rand.NewSource(1))
+	region := mem.VirtAddr(0) // one 2MB region has 512 pages; use 2 regions
+	var seq []mem.VirtAddr
+	// Use 2048 pages spread over 4 regions, visited in random order,
+	// several times: 4KB distance ~2047 >= threshold, 2MB distance ~3.
+	pages := make([]mem.VirtAddr, 2048)
+	for i := range pages {
+		pages[i] = region + mem.VirtAddr(i*0x1000)
+	}
+	for rep := 0; rep < 6; rep++ {
+		perm := rng.Perm(len(pages))
+		for _, i := range perm {
+			seq = append(seq, pages[i])
+		}
+	}
+	observeAll(r, seq)
+	sum := Summarize(r.Results())
+	if sum.Pages[HUB] < uint64(len(pages))*8/10 {
+		t.Errorf("HUB pages = %d of %d, want most (summary %+v)",
+			sum.Pages[HUB], len(pages), sum)
+	}
+}
+
+func TestReuseLowReuseDetection(t *testing.T) {
+	// Pages spread across thousands of 2MB regions, each touched twice
+	// with huge gaps: high distance at both granularities.
+	r := NewReuseAnalyzer()
+	var seq []mem.VirtAddr
+	n := 3000
+	for rep := 0; rep < 2; rep++ {
+		for i := 0; i < n; i++ {
+			seq = append(seq, mem.VirtAddr(i)<<21) // one page per region
+		}
+	}
+	observeAll(r, seq)
+	sum := Summarize(r.Results())
+	if sum.Pages[LowReuse] < uint64(n)*9/10 {
+		t.Errorf("low-reuse pages = %d of %d", sum.Pages[LowReuse], n)
+	}
+}
+
+func TestReuseSingleTouchPages(t *testing.T) {
+	// Pages touched once have no 4KB reuse sample: they must classify by
+	// the maximal-distance convention, not crash.
+	r := NewReuseAnalyzer()
+	observeAll(r, []mem.VirtAddr{0x0, 0x1000, 0x2000})
+	res := r.Results()
+	if len(res) != 3 {
+		t.Fatalf("pages = %d", len(res))
+	}
+	for _, pr := range res {
+		if pr.Accesses != 1 {
+			t.Errorf("page %d accesses = %d", pr.Page, pr.Accesses)
+		}
+	}
+}
+
+func TestReuseDistanceCountsOtherPages(t *testing.T) {
+	// Pattern A B B B A: the reuse distance of A at 4KB granularity is
+	// the number of *page switches* between its two accesses (A->B is 1
+	// switch, B->B none), matching the "accesses to other pages" metric.
+	r := NewReuseAnalyzer()
+	a := mem.VirtAddr(0)
+	b := mem.VirtAddr(0x1000)
+	observeAll(r, []mem.VirtAddr{a, b, b, b, a})
+	for _, pr := range r.Results() {
+		if pr.Page == 0 {
+			if pr.Dist4K != 2 {
+				// a=clock0, switch to b (clock1), b, b, switch to a
+				// (clock2): distance = 2.
+				t.Errorf("dist4K(A) = %v, want 2", pr.Dist4K)
+			}
+		}
+	}
+}
+
+func TestDrainAndTotals(t *testing.T) {
+	r := NewReuseAnalyzer()
+	n := r.Drain(Sequential(0, 1<<20, 4096, 100))
+	if n != 100 {
+		t.Errorf("drained %d", n)
+	}
+	sum := Summarize(r.Results())
+	if sum.TotalAccesses() != 100 {
+		t.Errorf("total accesses = %d", sum.TotalAccesses())
+	}
+	if sum.TotalPages() == 0 {
+		t.Error("no pages characterized")
+	}
+}
+
+func TestResultsSortedByPage(t *testing.T) {
+	r := NewReuseAnalyzer()
+	observeAll(r, []mem.VirtAddr{0x5000, 0x1000, 0x3000, 0x1000})
+	res := r.Results()
+	for i := 1; i < len(res); i++ {
+		if res[i].Page <= res[i-1].Page {
+			t.Fatal("results must be sorted by page number")
+		}
+	}
+}

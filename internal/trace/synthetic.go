@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"pccsim/internal/mem"
+)
+
+// This file provides synthetic address-stream generators. They serve two
+// purposes: (1) unit-testable streams with known TLB behaviour, and (2) the
+// locality models behind the PARSEC/SPEC-like workloads (canneal, omnetpp,
+// xalancbmk, dedup, mcf), whose binaries and Pin traces are unavailable here.
+// Each generator is deterministic given its *rand.Rand.
+
+// Sequential emits n accesses walking a range with the given byte stride,
+// wrapping around. Maximal spatial locality: the TLB-friendly extreme.
+func Sequential(base mem.VirtAddr, size uint64, stride uint64, n uint64) Stream {
+	if stride == 0 {
+		stride = 8
+	}
+	var i uint64
+	return Func(func() (Access, bool) {
+		if i >= n {
+			return Access{}, false
+		}
+		a := base + mem.VirtAddr((i*stride)%size)
+		i++
+		return Access{Addr: a}, true
+	})
+}
+
+// UniformRandom emits n accesses uniformly distributed over [base,
+// base+size): the low-reuse extreme where even huge pages barely help once
+// size exceeds huge-TLB reach.
+func UniformRandom(base mem.VirtAddr, size uint64, n uint64, rng *rand.Rand) Stream {
+	var i uint64
+	return Func(func() (Access, bool) {
+		if i >= n {
+			return Access{}, false
+		}
+		i++
+		return Access{Addr: base + mem.VirtAddr(rng.Uint64()%size)}, true
+	})
+}
+
+// Zipf emits n accesses over size bytes where 8-byte elements are drawn from
+// a Zipf distribution with exponent s over a permuted index space — the
+// sparse-but-reusing pattern of pointer-chasing graph data: the HUB regime.
+// The permutation spreads hot elements across pages, so hot *regions* emerge
+// at 2MB granularity while individual 4KB pages see high reuse distance.
+func Zipf(base mem.VirtAddr, size uint64, s float64, n uint64, rng *rand.Rand) Stream {
+	elems := size / 8
+	if elems == 0 {
+		elems = 1
+	}
+	// rand.Zipf requires s > 1.
+	if s <= 1 {
+		s = 1.01
+	}
+	z := rand.NewZipf(rng, s, 1, elems-1)
+	// A multiplicative hash spreads ranks over the address space without a
+	// giant permutation table.
+	const mul = 0x9E3779B97F4A7C15
+	var i uint64
+	return Func(func() (Access, bool) {
+		if i >= n {
+			return Access{}, false
+		}
+		i++
+		rank := z.Uint64()
+		idx := (rank * mul) % elems
+		return Access{Addr: base + mem.VirtAddr(idx*8)}, true
+	})
+}
+
+// HotCold emits n accesses where fraction hotFrac of them go to the first
+// hotBytes of the range (dense reuse) and the rest are uniform over the
+// whole range. Models workloads with a hot working set plus cold sweeps
+// (omnetpp-like event queues, xalancbmk-like DOM traversal).
+func HotCold(base mem.VirtAddr, size, hotBytes uint64, hotFrac float64, n uint64, rng *rand.Rand) Stream {
+	if hotBytes == 0 || hotBytes > size {
+		hotBytes = size
+	}
+	var i uint64
+	return Func(func() (Access, bool) {
+		if i >= n {
+			return Access{}, false
+		}
+		i++
+		if rng.Float64() < hotFrac {
+			return Access{Addr: base + mem.VirtAddr(rng.Uint64()%hotBytes)}, true
+		}
+		return Access{Addr: base + mem.VirtAddr(rng.Uint64()%size)}, true
+	})
+}
+
+// PointerChase emits n accesses following a precomputed random cycle of
+// 8-byte nodes over the range — the classic TLB-hostile dependent-load
+// pattern (mcf's network simplex arcs, canneal's netlist elements). The
+// cycle is built once (O(size/8) memory for the permutation is bounded by
+// the caller choosing the range).
+func PointerChase(base mem.VirtAddr, size uint64, n uint64, rng *rand.Rand) Stream {
+	elems := int(size / 64) // one node per cacheline
+	if elems < 2 {
+		elems = 2
+	}
+	// Sattolo's algorithm builds a single cycle over all nodes, so the
+	// chase visits every node before repeating (a plain permutation can
+	// trap the walk in a short cycle).
+	next := make([]int, elems)
+	for i := range next {
+		next[i] = i
+	}
+	for i := elems - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		next[i], next[j] = next[j], next[i]
+	}
+	cur := 0
+	var i uint64
+	return Func(func() (Access, bool) {
+		if i >= n {
+			return Access{}, false
+		}
+		i++
+		a := base + mem.VirtAddr(uint64(cur)*64)
+		cur = next[cur]
+		return Access{Addr: a}, true
+	})
+}
+
+// Phased concatenates the phases, modelling applications whose locality
+// changes over time (§3.3.3's application-phases discussion).
+func Phased(phases ...Stream) Stream { return Concat(phases...) }
+
+// Mix interleaves streams probabilistically: each access is drawn from
+// stream i with probability weights[i]/sum(weights). A stream that ends is
+// dropped from the lottery. Deterministic per rng.
+func Mix(rng *rand.Rand, weights []float64, streams ...Stream) Stream {
+	if len(weights) != len(streams) {
+		panic("trace: Mix weights/streams length mismatch")
+	}
+	live := make([]bool, len(streams))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("trace: Mix weight must be non-negative")
+		}
+		live[i] = true
+		total += w
+	}
+	return Func(func() (Access, bool) {
+		for total > 0 {
+			r := rng.Float64() * total
+			pick := -1
+			for i := range streams {
+				if !live[i] {
+					continue
+				}
+				if r < weights[i] || pick == -1 {
+					pick = i
+					if r < weights[i] {
+						break
+					}
+				}
+				r -= weights[i]
+			}
+			if pick < 0 {
+				return Access{}, false
+			}
+			if a, ok := streams[pick].Next(); ok {
+				return a, true
+			}
+			live[pick] = false
+			total -= weights[pick]
+		}
+		return Access{}, false
+	})
+}

@@ -1,0 +1,145 @@
+// Package trace defines the memory-access-stream abstraction the simulator
+// consumes, utilities to combine per-thread streams, the page reuse-distance
+// analyzer behind Fig. 2's HUB characterization, and a family of synthetic
+// address-stream generators used to model the non-graph workloads.
+//
+// A stream is pull-based: the virtual machine monitor asks for the next
+// access. This keeps memory bounded — multi-gigabyte-equivalent traces are
+// never materialized.
+package trace
+
+import (
+	"pccsim/internal/mem"
+)
+
+// Access is one memory reference.
+type Access struct {
+	Addr mem.VirtAddr
+	// Thread identifies the simulated hardware thread/core issuing the
+	// access (0 for single-threaded workloads).
+	Thread int
+	// Write is informational; the TLB path treats loads and stores alike.
+	Write bool
+}
+
+// Stream produces a sequence of accesses. Next returns ok=false when the
+// stream is exhausted. Implementations are single-use; construct a fresh
+// stream to replay.
+type Stream interface {
+	Next() (Access, bool)
+}
+
+// Func adapts a closure into a Stream.
+type Func func() (Access, bool)
+
+// Next implements Stream.
+func (f Func) Next() (Access, bool) { return f() }
+
+// Limit wraps s, truncating it after n accesses.
+func Limit(s Stream, n uint64) Stream {
+	var seen uint64
+	return Func(func() (Access, bool) {
+		if seen >= n {
+			return Access{}, false
+		}
+		a, ok := s.Next()
+		if ok {
+			seen++
+		}
+		return a, ok
+	})
+}
+
+// Concat yields each stream in order.
+func Concat(streams ...Stream) Stream {
+	i := 0
+	return Func(func() (Access, bool) {
+		for i < len(streams) {
+			if a, ok := streams[i].Next(); ok {
+				return a, ok
+			}
+			i++
+		}
+		return Access{}, false
+	})
+}
+
+// Interleave merges per-thread streams by switching threads every chunk
+// accesses, modelling concurrently executing cores as seen by a shared
+// simulation clock. Exhausted streams drop out; the merge ends when all do.
+// Each access is stamped with its stream index as the thread id.
+func Interleave(chunk int, streams ...Stream) Stream {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	live := make([]Stream, len(streams))
+	copy(live, streams)
+	done := make([]bool, len(streams))
+	cur, inChunk, remaining := 0, 0, len(streams)
+	return Func(func() (Access, bool) {
+		for remaining > 0 {
+			if done[cur] || inChunk >= chunk {
+				inChunk = 0
+				// advance to next live stream
+				for i := 0; i < len(live); i++ {
+					cur = (cur + 1) % len(live)
+					if !done[cur] {
+						break
+					}
+				}
+				if done[cur] {
+					return Access{}, false
+				}
+			}
+			a, ok := live[cur].Next()
+			if !ok {
+				done[cur] = true
+				remaining--
+				inChunk = chunk // force switch
+				continue
+			}
+			inChunk++
+			a.Thread = cur
+			return a, true
+		}
+		return Access{}, false
+	})
+}
+
+// Slice returns a Stream over a materialized access list (tests and tools).
+func Slice(accesses []Access) Stream {
+	i := 0
+	return Func(func() (Access, bool) {
+		if i >= len(accesses) {
+			return Access{}, false
+		}
+		a := accesses[i]
+		i++
+		return a, true
+	})
+}
+
+// Collect drains up to max accesses from s into a slice (tests and tools;
+// max guards against unbounded streams).
+func Collect(s Stream, max int) []Access {
+	var out []Access
+	for len(out) < max {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Count drains s, returning the number of accesses (tests).
+func Count(s Stream) uint64 {
+	var n uint64
+	for {
+		if _, ok := s.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,237 @@
+// Package virt models virtualized address translation (§5.4.3 of the
+// paper): a guest OS translates guest-virtual to guest-physical through its
+// own page table, and the hypervisor translates guest-physical to
+// host-physical through a second one. Hardware TLBs cache the combined
+// guest-virtual→host-physical mapping at the *smaller* of the two page
+// sizes, so a 2MB guest page backed by 4KB host pages still occupies 512
+// TLB entries — the paper's point that the guest OS and hypervisor must
+// promote together, coordinated by a hypercall, for huge pages to pay off
+// in a VM.
+//
+// A nested ("two-dimensional") page walk is far more expensive than a
+// native one: each of the guest walk's references is itself a
+// guest-physical address that must be translated through the host table,
+// giving up to gL*hL + gL + hL references for gL/hL-level tables (24 for
+// 4-level/4-level on x86).
+package virt
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/metrics"
+	"pccsim/internal/pcc"
+	"pccsim/internal/ptw"
+	"pccsim/internal/tlb"
+	"pccsim/internal/trace"
+)
+
+// Config assembles a virtualized machine.
+type Config struct {
+	// TLB configures the hardware TLB hierarchy (caches combined
+	// translations).
+	TLB tlb.HierarchyConfig
+	// Cost prices events; nested walks multiply the per-reference cost.
+	Cost metrics.CostModel
+	// GuestPCC enables the guest-visible promotion candidate cache
+	// tracking guest-virtual 2MB regions (the paper's design: PCC entries
+	// tagged guest vs host, the guest portion surfaced to the guest OS).
+	GuestPCC pcc.Config
+	// BaseCPA is the workload's base cycles per access.
+	BaseCPA float64
+}
+
+// DefaultConfig returns a Table 2 TLB with the default cost model and a
+// 128-entry guest PCC.
+func DefaultConfig() Config {
+	return Config{
+		TLB:      tlb.DefaultHierarchyConfig(),
+		Cost:     metrics.DefaultCostModel(),
+		GuestPCC: pcc.DefaultConfig2M(),
+		BaseCPA:  18,
+	}
+}
+
+// Machine is one virtualized CPU: hardware TLBs over a nested translation.
+// Guest-physical addresses equal guest-virtual addresses here (an identity
+// pseudo-physical layout), which loses no generality for TLB behaviour:
+// only the *page sizes* of the two mappings matter.
+type Machine struct {
+	cfg   Config
+	tlb   *tlb.Hierarchy
+	guest *ptw.Table // guest-virtual -> guest-physical
+	host  *ptw.Table // guest-physical -> host-physical
+	gpcc  *pcc.PCC   // guest-virtual 2MB region tracking
+
+	guestHuge map[mem.VirtAddr]bool // guest 2MB mappings (by gVA base)
+	hostHuge  map[mem.VirtAddr]bool // host 2MB mappings (by gPA base)
+
+	Cycles     float64
+	Accesses   uint64
+	Walks      uint64
+	NestedRefs uint64
+	Faults     uint64
+	vmas       []mem.Range
+}
+
+// NewMachine builds an empty virtualized machine over the given guest VMAs.
+func NewMachine(cfg Config, vmas []mem.Range) *Machine {
+	m := &Machine{
+		cfg:       cfg,
+		tlb:       tlb.NewHierarchy(cfg.TLB),
+		guest:     ptw.NewTable(),
+		host:      ptw.NewTable(),
+		gpcc:      pcc.New(cfg.GuestPCC),
+		guestHuge: map[mem.VirtAddr]bool{},
+		hostHuge:  map[mem.VirtAddr]bool{},
+		vmas:      vmas,
+	}
+	return m
+}
+
+// GuestPCC exposes the guest candidate cache (what the guest OS reads).
+func (m *Machine) GuestPCC() *pcc.PCC { return m.gpcc }
+
+// effectiveSize returns the page size the TLB can cache for a combined
+// translation: the smaller of the guest and host mapping sizes.
+func effectiveSize(g, h mem.PageSize) mem.PageSize {
+	if g < h {
+		return g
+	}
+	return h
+}
+
+// sizes returns the current guest and host mapping sizes for gva, faulting
+// in 4KB mappings on first touch.
+func (m *Machine) sizes(gva mem.VirtAddr) (g, h mem.PageSize) {
+	gs, ok := m.guest.MappedSize(gva)
+	if !ok {
+		m.Faults++
+		m.Cycles += m.cfg.Cost.FaultBase
+		m.guest.Map(mem.PageBase(gva, mem.Page4K), mem.Page4K)
+		gs = mem.Page4K
+	}
+	// Identity pseudo-physical: the host maps the same numeric address.
+	hs, ok := m.host.MappedSize(gva)
+	if !ok {
+		m.Cycles += m.cfg.Cost.FaultBase
+		m.host.Map(mem.PageBase(gva, mem.Page4K), mem.Page4K)
+		hs = mem.Page4K
+	}
+	return gs, hs
+}
+
+// guestLevels returns the walk depth for a guest mapping size.
+func guestLevels(s mem.PageSize) int {
+	switch s {
+	case mem.Page4K:
+		return 4
+	case mem.Page2M:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// Step simulates one guest memory access.
+func (m *Machine) Step(gva mem.VirtAddr) {
+	m.Accesses++
+	gs, hs := m.sizes(gva)
+	eff := effectiveSize(gs, hs)
+
+	cost := m.cfg.BaseCPA
+	switch m.tlb.Access(gva, eff) {
+	case tlb.HitL1:
+	case tlb.HitL2:
+		cost += m.cfg.Cost.L2TLBHit
+	default:
+		// Two-dimensional walk: every guest-table reference is itself
+		// translated through the host table, plus the final host walk of
+		// the leaf guest-physical address.
+		m.Walks++
+		gL, hL := guestLevels(gs), guestLevels(hs)
+		refs := gL*hL + gL + hL
+		m.NestedRefs += uint64(refs)
+		// Walk both tables for accessed-bit bookkeeping (the guest PCC's
+		// cold-miss filter uses the guest PMD bit).
+		info := m.guest.Walk(gva)
+		m.host.Walk(gva)
+		cost += m.cfg.Cost.WalkBase + float64(refs)*m.cfg.Cost.WalkRef
+		m.tlb.Fill(gva, eff)
+		if gs != mem.Page1G && info.PMDWasAccessed {
+			m.gpcc.Record(gva)
+		}
+	}
+	m.Cycles += cost
+}
+
+// Run drains a stream through the machine.
+func (m *Machine) Run(s trace.Stream) {
+	for {
+		a, ok := s.Next()
+		if !ok {
+			return
+		}
+		m.Step(a.Addr)
+	}
+}
+
+// PromoteGuest2M collapses the guest mapping of the 2MB region at base —
+// what the guest OS alone can do. Without hypervisor cooperation the TLB
+// still caches 4KB combined entries.
+func (m *Machine) PromoteGuest2M(base mem.VirtAddr) error {
+	base = mem.PageBase(base, mem.Page2M)
+	if m.guestHuge[base] {
+		return fmt.Errorf("virt: guest region %#x already huge", uint64(base))
+	}
+	m.guest.Map(base, mem.Page2M)
+	m.guestHuge[base] = true
+	m.shootdown(base)
+	return nil
+}
+
+// PromoteHost2M collapses the hypervisor's mapping of the guest-physical
+// 2MB region at base — the hypercall-triggered half of the coordination.
+func (m *Machine) PromoteHost2M(base mem.VirtAddr) error {
+	base = mem.PageBase(base, mem.Page2M)
+	if m.hostHuge[base] {
+		return fmt.Errorf("virt: host region %#x already huge", uint64(base))
+	}
+	m.host.Map(base, mem.Page2M)
+	m.hostHuge[base] = true
+	m.shootdown(base)
+	return nil
+}
+
+// PromoteBoth2M performs the coordinated promotion the paper prescribes:
+// guest promotion followed by a hypercall promoting the host mapping.
+func (m *Machine) PromoteBoth2M(base mem.VirtAddr) error {
+	if err := m.PromoteGuest2M(base); err != nil {
+		return err
+	}
+	return m.PromoteHost2M(base)
+}
+
+func (m *Machine) shootdown(base mem.VirtAddr) {
+	r := mem.Range{Start: base, End: base + mem.VirtAddr(mem.Page2M)}
+	m.tlb.Shootdown(r)
+	m.gpcc.InvalidateRange(r)
+	m.Cycles += m.cfg.Cost.PromoteFixed
+}
+
+// PTWRate returns walks per access.
+func (m *Machine) PTWRate() float64 {
+	if m.Accesses == 0 {
+		return 0
+	}
+	return float64(m.Walks) / float64(m.Accesses)
+}
+
+// RefsPerWalk returns the average nested-walk memory references — the
+// virtualization tax (native 4-level walks need ≤4).
+func (m *Machine) RefsPerWalk() float64 {
+	if m.Walks == 0 {
+		return 0
+	}
+	return float64(m.NestedRefs) / float64(m.Walks)
+}

@@ -1,0 +1,149 @@
+// Package vmm assembles the full simulated machine the experiments run on:
+// per-core TLB hierarchies, page table walkers and promotion candidate
+// caches; per-process page tables and address-space state; the physical
+// memory model; the OS policy hook that performs huge page promotion and
+// demotion; and the cycle accounting that turns simulated events into
+// runtime estimates.
+package vmm
+
+import (
+	"pccsim/internal/mem"
+	"pccsim/internal/metrics"
+	"pccsim/internal/pcc"
+	"pccsim/internal/physmem"
+	"pccsim/internal/ptw"
+	"pccsim/internal/tlb"
+)
+
+// Config describes one simulated machine.
+type Config struct {
+	// Cores is the number of simulated cores (each gets its own TLB
+	// hierarchy, walker and PCCs).
+	Cores int
+	// TLB configures each core's TLB hierarchy.
+	TLB tlb.HierarchyConfig
+	// PWC configures each core's page walk caches.
+	PWC ptw.PWCConfig
+	// PCC2M configures the per-core 2MB promotion candidate cache.
+	PCC2M pcc.Config
+	// PCC1G configures the per-core 1GB PCC.
+	PCC1G pcc.Config
+	// EnablePCC turns the PCC hardware on. Baseline and ideal
+	// configurations run with it off (it has no performance effect either
+	// way; disabling it just silences tracking).
+	EnablePCC bool
+	// UseVictimTracker replaces the PCC with the §5.4.1 design
+	// alternative: a victim structure fed by L2-TLB evictions instead of
+	// access-bit-gated page table walks, with the same entry count. Used
+	// by the ablation experiments to quantify the pollution the paper
+	// predicts.
+	UseVictimTracker bool
+	// Enable1G additionally tracks 1GB-granularity candidates (§3.2.3).
+	Enable1G bool
+	// Cost prices events in cycles.
+	Cost metrics.CostModel
+	// Phys sizes the physical memory model.
+	Phys physmem.Config
+	// FragFrac fragments physical memory at startup: the fraction of 2MB
+	// blocks receiving one unmovable page (0 = pristine memory).
+	FragFrac float64
+	// Seed drives the deterministic fragmentation placement.
+	Seed int64
+	// PromotionInterval is the number of simulated accesses between OS
+	// policy ticks (the paper's 30s interval, calibrated by access rate).
+	PromotionInterval uint64
+	// AsyncVisibleFrac is the fraction of background promotion work
+	// (copy + compaction cycles) that leaks into application runtime
+	// (lock contention, memory bandwidth interference). Fault-time
+	// (synchronous) work is always charged in full.
+	AsyncVisibleFrac float64
+	// DisableColdFilter bypasses the accessed-bit cold-miss filter so
+	// every walk inserts into the PCC (ablation §3.2: without the filter,
+	// cold and streamed data pollutes the candidate cache).
+	DisableColdFilter bool
+	// MaxHugeBytesTotal caps huge-backed bytes across *all* processes
+	// (the multiprocess utility-curve budget of §5.3, where huge pages
+	// are a shared system resource). 0 means unlimited.
+	MaxHugeBytesTotal uint64
+	// NUMA enables the multi-node memory model (zero value: single node,
+	// the bound configuration the paper's methodology uses everywhere).
+	NUMA NUMAConfig
+}
+
+// DefaultConfig returns the Table 2 machine: one core, Haswell-style TLBs,
+// 128-entry 2MB PCC, 8-entry 1GB PCC, 4GB physical memory, promotion tick
+// every 2M accesses.
+func DefaultConfig() Config {
+	return Config{
+		Cores:             1,
+		TLB:               tlb.DefaultHierarchyConfig(),
+		PWC:               ptw.DefaultPWCConfig(),
+		PCC2M:             pcc.DefaultConfig2M(),
+		PCC1G:             pcc.DefaultConfig1G(),
+		EnablePCC:         true,
+		Cost:              metrics.DefaultCostModel(),
+		Phys:              physmem.DefaultConfig(),
+		Seed:              1,
+		PromotionInterval: 2_000_000,
+		AsyncVisibleFrac:  0.15,
+	}
+}
+
+// Core is one simulated CPU core: its private translation hardware plus
+// cycle accounting.
+type Core struct {
+	ID     int
+	TLB    *tlb.Hierarchy
+	Walker *ptw.Walker
+	PCC2M  *pcc.PCC
+	PCC1G  *pcc.PCC
+	// Victim is the §5.4.1 alternative candidate source, populated
+	// instead of PCC2M when Config.UseVictimTracker is set.
+	Victim *pcc.VictimTracker
+
+	// Cycles is the modeled execution time of work issued on this core.
+	Cycles float64
+	// Accesses counts memory references simulated on this core.
+	Accesses uint64
+	// StallCycles is the subset of Cycles due to OS promotion machinery
+	// (fault-time huge allocation, shootdowns, visible async work).
+	StallCycles float64
+}
+
+// Candidates2M returns whichever 2MB candidate source the core is built
+// with (the PCC or the victim tracker), or nil when tracking is off. OS
+// policies use this so they work with either hardware design unchanged.
+func (c *Core) Candidates2M() pcc.Tracker {
+	if c.Victim != nil {
+		return c.Victim
+	}
+	if c.PCC2M != nil {
+		return c.PCC2M
+	}
+	return nil
+}
+
+func newCore(id int, cfg Config) *Core {
+	c := &Core{
+		ID:     id,
+		TLB:    tlb.NewHierarchy(cfg.TLB),
+		Walker: ptw.NewWalker(cfg.PWC),
+	}
+	switch {
+	case cfg.UseVictimTracker:
+		c.Victim = pcc.NewVictimTracker(cfg.PCC2M.Entries)
+		// Feed the tracker from L2-TLB capacity evictions of 4KB
+		// translations.
+		c.TLB.L2().OnEvict = func(vpn mem.PageNum, size mem.PageSize) {
+			if size == mem.Page4K {
+				c.Victim.Record(mem.VirtAddr(uint64(vpn) << size.Shift()))
+			}
+		}
+	case cfg.EnablePCC:
+		c.PCC2M = pcc.New(cfg.PCC2M)
+		if cfg.Enable1G {
+			c.PCC1G = pcc.New(cfg.PCC1G)
+		}
+	}
+	return c
+}

@@ -1,0 +1,114 @@
+package vmm
+
+import (
+	"pccsim/internal/mem"
+)
+
+// 1GB promotion support (§3.2.3): the OS may collapse a 1GB-aligned virtual
+// region — currently mapped as 4KB and/or 2MB pages — into one giant page,
+// when the 1GB PCC indicates the region still walks heavily at 2MB
+// granularity.
+
+// regionEligible1G reports whether the 1GB region containing a lies fully
+// within one VMA.
+func (p *Process) regionEligible1G(a mem.VirtAddr) (mem.Region, *vma, bool) {
+	r := mem.RegionOf(a, mem.Page1G)
+	v := p.vmaOf(r.Base)
+	if v == nil || r.End() > v.r.End || r.Base < v.r.Start {
+		return r, nil, false
+	}
+	return r, v, true
+}
+
+// Promote1G promotes the 1GB region containing addr in process p: allocates
+// a physical 1GB window (compacting if needed), demotes accounting for any
+// 2MB mappings inside, collapses the page table to one PUD leaf, shoots
+// down, and charges costs. The paper's rule for *when* lives in the OS
+// policy; this is the mechanism.
+func (m *Machine) Promote1G(p *Process, addr mem.VirtAddr) error {
+	r, v, ok := p.regionEligible1G(addr)
+	if !ok {
+		return &PromoteError{Reason: "1GB region spans VMA boundary"}
+	}
+	if _, mapped := p.huge1G[r.Base]; mapped {
+		return &PromoteError{Reason: "already 1GB"}
+	}
+	// Count what is currently mapped inside (pricing the copy).
+	mapped4k, huge := p.mappedPagesIn(v, r)
+	if mapped4k == 0 && huge == 0 {
+		return &PromoteError{Reason: "region untouched"}
+	}
+	migrated, allocOK := m.phys.AllocGiga()
+	if !allocOK {
+		m.PromotionFailures++
+		return &PromoteError{Reason: "no physical 1GB window available"}
+	}
+	// Free the 2MB blocks the region's huge mappings were using: their
+	// data moves into the new window.
+	for base := range p.huge2M {
+		if r.Contains(base) {
+			delete(p.huge2M, base)
+			delete(p.hugeLastUse, base)
+			p.hugeBytes -= uint64(mem.Page2M)
+			m.phys.FreeHuge()
+		}
+	}
+
+	// mappedPagesIn counts 4KB pages in both buckets, so the copy work is
+	// simply the populated pages regardless of their current mapping size.
+	work := float64(mapped4k+huge)*m.cfg.Cost.PromoteCopyPer4K +
+		float64(migrated)*m.cfg.Cost.CompactPer4K
+	m.BackgroundCycles += work
+	m.chargeAll(m.cfg.Cost.PromoteFixed + work*m.cfg.AsyncVisibleFrac)
+
+	// Collapse: drop whatever subtree exists, install the PUD leaf.
+	p.Table.Map(r.Base, mem.Page1G)
+	v.setRange(r.Base, r.End(), state1G)
+	p.huge1G[r.Base] = m.accessCount
+	p.hugeBytes += uint64(mem.Page1G)
+	p.Promotions1G++
+
+	m.shootdownAll(mem.Range{Start: r.Base, End: r.End()})
+	return nil
+}
+
+// Demote1G splits a 1GB mapping back into 2MB mappings (the less drastic of
+// the two demotion paths; splitting straight to 4KB would model a swap-out).
+// Each constituent 2MB region gets a physical block; if blocks run out the
+// remainder falls back to 4KB pages.
+func (m *Machine) Demote1G(p *Process, addr mem.VirtAddr) error {
+	base := mem.PageBase(addr, mem.Page1G)
+	if _, ok := p.huge1G[base]; !ok {
+		return &PromoteError{Reason: "not a 1GB mapping"}
+	}
+	v := p.vmaOf(base)
+	if v == nil {
+		return &PromoteError{Reason: "outside VMAs"}
+	}
+	r := mem.Region{Base: base, Size: mem.Page1G}
+	p.Table.Unmap(base, mem.Page1G)
+	delete(p.huge1G, base)
+	p.hugeBytes -= uint64(mem.Page1G)
+	m.phys.FreeGiga()
+
+	for b := base; b < r.End(); b += mem.VirtAddr(mem.Page2M) {
+		if _, ok := m.phys.AllocHuge(); ok {
+			p.Table.Map(b, mem.Page2M)
+			v.setRange(b, b+mem.VirtAddr(mem.Page2M), state2M)
+			p.huge2M[b] = m.accessCount
+			p.hugeBytes += uint64(mem.Page2M)
+		} else {
+			for a := b; a < b+mem.VirtAddr(mem.Page2M); a += mem.VirtAddr(mem.Page4K) {
+				p.Table.Map(a, mem.Page4K)
+			}
+			v.setRange(b, b+mem.VirtAddr(mem.Page2M), state4K)
+		}
+	}
+	p.Demotions++
+	m.chargeAll(m.cfg.Cost.PromoteFixed)
+	m.shootdownAll(mem.Range{Start: base, End: r.End()})
+	return nil
+}
+
+// HugePages1G returns the number of live 1GB mappings in p.
+func (p *Process) HugePages1G() int { return len(p.huge1G) }

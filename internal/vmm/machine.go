@@ -1,0 +1,380 @@
+package vmm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/physmem"
+)
+
+// Policy is the OS huge page management strategy plugged into the machine.
+// Implementations live in internal/ospolicy.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// OnFault decides the page size used to service a first-touch fault
+	// on addr (Linux's synchronous THP path allocates 2MB here; every
+	// other policy returns 4KB). Returning Page2M is a request: the
+	// machine falls back to 4KB when no physical block is available or
+	// the region is not eligible.
+	OnFault(m *Machine, p *Process, addr mem.VirtAddr) mem.PageSize
+	// Tick runs the periodic OS work (candidate selection, promotion,
+	// demotion). Called every Config.PromotionInterval accesses.
+	Tick(m *Machine)
+}
+
+// Machine is the simulated system under test.
+type Machine struct {
+	cfg    Config
+	cores  []*Core
+	procs  []*Process
+	phys   *physmem.Memory
+	policy Policy
+
+	accessCount uint64 // global simulated-access clock
+	nextTick    uint64
+
+	// numa is nil unless Config.NUMA enables multi-node modeling.
+	numa *numaState
+
+	// Background (async) promotion work accounting.
+	BackgroundCycles float64
+
+	// PromotionFailures counts promotions refused for lack of physical
+	// blocks.
+	PromotionFailures uint64
+
+	// promotionLog records every successful 2MB promotion with its
+	// simulated timestamp — the candidate trace of the paper's two-step
+	// methodology (offline simulation writes it; replay consumes it).
+	promotionLog []PromotionEvent
+}
+
+// PromotionEvent is one entry of the candidate trace: which region of which
+// process was promoted, and when (in simulated accesses).
+type PromotionEvent struct {
+	AtAccess uint64
+	ProcID   int
+	Base     mem.VirtAddr
+}
+
+// PromotionLog returns a copy of the recorded candidate trace.
+func (m *Machine) PromotionLog() []PromotionEvent {
+	out := make([]PromotionEvent, len(m.promotionLog))
+	copy(out, m.promotionLog)
+	return out
+}
+
+// NewMachine builds a machine; policy may be nil (no OS huge page
+// management beyond 4KB faults — the baseline).
+func NewMachine(cfg Config, policy Policy) *Machine {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.PromotionInterval == 0 {
+		cfg.PromotionInterval = DefaultConfig().PromotionInterval
+	}
+	m := &Machine{
+		cfg:      cfg,
+		phys:     physmem.New(cfg.Phys),
+		policy:   policy,
+		nextTick: cfg.PromotionInterval,
+		numa:     newNUMAState(cfg.NUMA),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, newCore(i, cfg))
+	}
+	if cfg.FragFrac > 0 {
+		m.phys.Fragment(cfg.FragFrac, rand.New(rand.NewSource(cfg.Seed)))
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cores returns the simulated cores.
+func (m *Machine) Cores() []*Core { return m.cores }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Procs returns the registered processes.
+func (m *Machine) Procs() []*Process { return m.procs }
+
+// Phys exposes the physical memory model (policies consult availability).
+func (m *Machine) Phys() *physmem.Memory { return m.phys }
+
+// Policy returns the installed OS policy (nil for the bare baseline).
+func (m *Machine) Policy() Policy { return m.policy }
+
+// Now returns the global simulated access clock.
+func (m *Machine) Now() uint64 { return m.accessCount }
+
+// AddProcess registers an address space built from the given VMAs.
+func (m *Machine) AddProcess(name string, ranges []mem.Range, baseCPA float64) *Process {
+	p := newProcess(len(m.procs), name, ranges, baseCPA)
+	m.procs = append(m.procs, p)
+	return p
+}
+
+// fault services a first-touch page fault at addr on the given core,
+// consulting the policy for a huge allocation, and charges the fault cost.
+func (m *Machine) fault(c *Core, p *Process, addr mem.VirtAddr) {
+	p.Faults++
+	want := mem.Page4K
+	if m.policy != nil {
+		want = m.policy.OnFault(m, p, addr)
+	}
+	if want == mem.Page2M {
+		if r, v, ok := p.regionEligible2M(addr); ok && !m.overHugeBudget(p) {
+			if migrated, allocOK := m.phys.AllocHuge(); allocOK {
+				// Synchronous THP allocation: zeroing 2MB plus any
+				// direct compaction, charged to the faulting core.
+				cost := m.cfg.Cost.FaultBase + m.cfg.Cost.FaultHugeZero +
+					float64(migrated)*m.cfg.Cost.CompactPer4K
+				if migrated > 0 {
+					cost += m.cfg.Cost.DirectCompactStall
+				}
+				c.Cycles += cost
+				c.StallCycles += cost
+				p.Table.Map(r.Base, mem.Page2M)
+				v.setRange(r.Base, r.End(), state2M)
+				p.huge2M[r.Base] = m.accessCount
+				p.hugeBytes += uint64(mem.Page2M)
+				p.HugeFaults++
+				return
+			}
+			m.PromotionFailures++
+		}
+	}
+	// Base page fault.
+	c.Cycles += m.cfg.Cost.FaultBase
+	c.StallCycles += m.cfg.Cost.FaultBase
+	base := mem.PageBase(addr, mem.Page4K)
+	p.Table.Map(base, mem.Page4K)
+	if v := p.vmaOf(addr); v != nil {
+		v.setRange(base, base+mem.VirtAddr(mem.Page4K), state4K)
+	}
+	m.phys.AllocBase(1)
+}
+
+func (m *Machine) overHugeBudget(p *Process) bool {
+	if p.MaxHugeBytes > 0 && p.hugeBytes+uint64(mem.Page2M) > p.MaxHugeBytes {
+		return true
+	}
+	if m.cfg.MaxHugeBytesTotal > 0 &&
+		m.TotalHugeBytes()+uint64(mem.Page2M) > m.cfg.MaxHugeBytesTotal {
+		return true
+	}
+	return false
+}
+
+// TotalHugeBytes sums huge-backed bytes across all processes.
+func (m *Machine) TotalHugeBytes() uint64 {
+	var total uint64
+	for _, p := range m.procs {
+		total += p.hugeBytes
+	}
+	return total
+}
+
+// shootdownAll invalidates the range on every core: TLBs, walker PWC, and
+// PCC entries (the paper's rule that a TLB shootdown for a region drops the
+// region from the PCC, so no stale candidate survives).
+func (m *Machine) shootdownAll(r mem.Range) {
+	for _, c := range m.cores {
+		c.TLB.Shootdown(r)
+		c.Walker.InvalidateRange(r)
+		if c.PCC2M != nil {
+			c.PCC2M.InvalidateRange(r)
+		}
+		if c.PCC1G != nil {
+			c.PCC1G.InvalidateRange(r)
+		}
+		if c.Victim != nil {
+			c.Victim.InvalidateRange(r)
+		}
+	}
+}
+
+// chargeAll adds cycles to every core (shootdown IPIs interrupt everyone).
+func (m *Machine) chargeAll(cycles float64) {
+	for _, c := range m.cores {
+		c.Cycles += cycles
+		c.StallCycles += cycles
+	}
+}
+
+// PromoteError explains a refused promotion.
+type PromoteError struct{ Reason string }
+
+func (e *PromoteError) Error() string { return "vmm: promotion refused: " + e.Reason }
+
+// Promote2M promotes the 2MB region containing addr in process p: allocates
+// a physical block (compacting if needed), faults in any unmapped tail,
+// collapses the page table mapping, performs the shootdown and charges
+// costs. Async (daemon-driven) promotion charges copy/compaction work to
+// the background with only AsyncVisibleFrac leaking into cores.
+func (m *Machine) Promote2M(p *Process, addr mem.VirtAddr) error {
+	r, v, ok := p.regionEligible2M(addr)
+	if !ok {
+		return &PromoteError{Reason: "region spans VMA boundary"}
+	}
+	if p.IsHuge2M(r.Base) {
+		return &PromoteError{Reason: "already huge"}
+	}
+	if m.overHugeBudget(p) {
+		return &PromoteError{Reason: "budget exhausted"}
+	}
+	mapped4k, _ := p.mappedPagesIn(v, r)
+	if mapped4k == 0 {
+		return &PromoteError{Reason: "region untouched"}
+	}
+	migrated, allocOK := m.phys.AllocHuge()
+	if !allocOK {
+		m.PromotionFailures++
+		return &PromoteError{Reason: "no physical block available"}
+	}
+
+	// Background work: copy the mapped pages into the new block, migrate
+	// frames for compaction.
+	work := float64(mapped4k)*m.cfg.Cost.PromoteCopyPer4K +
+		float64(migrated)*m.cfg.Cost.CompactPer4K
+	m.BackgroundCycles += work
+	m.chargeAll(m.cfg.Cost.PromoteFixed + work*m.cfg.AsyncVisibleFrac)
+
+	// Remap: the whole region becomes one 2MB mapping.
+	p.Table.Map(r.Base, mem.Page2M)
+	v.setRange(r.Base, r.End(), state2M)
+	p.huge2M[r.Base] = m.accessCount
+	p.hugeBytes += uint64(mem.Page2M)
+	p.Promotions2M++
+	m.promotionLog = append(m.promotionLog, PromotionEvent{
+		AtAccess: m.accessCount, ProcID: p.ID, Base: r.Base,
+	})
+
+	m.shootdownAll(mem.Range{Start: r.Base, End: r.End()})
+	return nil
+}
+
+// Demote2M splits the 2MB mapping at the region containing addr back into
+// 4KB pages and frees its physical block for reuse.
+func (m *Machine) Demote2M(p *Process, addr mem.VirtAddr) error {
+	base := mem.PageBase(addr, mem.Page2M)
+	if !p.IsHuge2M(base) {
+		return &PromoteError{Reason: "not a 2MB mapping"}
+	}
+	v := p.vmaOf(base)
+	if v == nil {
+		return &PromoteError{Reason: "outside VMAs"}
+	}
+	r := mem.Region{Base: base, Size: mem.Page2M}
+	p.Table.Unmap(base, mem.Page2M)
+	for a := base; a < r.End(); a += mem.VirtAddr(mem.Page4K) {
+		p.Table.Map(a, mem.Page4K)
+	}
+	v.setRange(base, r.End(), state4K)
+	delete(p.huge2M, base)
+	delete(p.hugeLastUse, base)
+	p.hugeBytes -= uint64(mem.Page2M)
+	p.Demotions++
+	m.phys.FreeHuge()
+	m.chargeAll(m.cfg.Cost.PromoteFixed)
+	m.shootdownAll(mem.Range{Start: base, End: r.End()})
+	return nil
+}
+
+// Huge2MBases returns the promoted 2MB region bases of p with their
+// promotion timestamps (policies use this for demotion candidate search).
+func (m *Machine) Huge2MBases(p *Process) map[mem.VirtAddr]uint64 {
+	out := make(map[mem.VirtAddr]uint64, len(p.huge2M))
+	for k, vts := range p.huge2M {
+		out[k] = vts
+	}
+	return out
+}
+
+// HugeLastUse returns the last simulated time the promoted 2MB region at
+// base missed the L1 TLB (0 if never since promotion). Policies combine it
+// with InvalidateTranslations to implement idle-region tracking: flushing
+// the translation forces a genuinely hot region to miss — and so refresh
+// this timestamp — before the next sample.
+func (m *Machine) HugeLastUse(p *Process, base mem.VirtAddr) uint64 {
+	return p.hugeLastUse[mem.PageBase(base, mem.Page2M)]
+}
+
+// InvalidateTranslations flushes the cached translations for the 2MB region
+// at base on every core (TLBs and page-walk caches) without changing the
+// mapping — the OS's idle-page-tracking flush. The next access to the
+// region re-walks, re-setting accessed state.
+func (m *Machine) InvalidateTranslations(p *Process, base mem.VirtAddr) {
+	base = mem.PageBase(base, mem.Page2M)
+	r := mem.Range{Start: base, End: base + mem.VirtAddr(mem.Page2M)}
+	for _, c := range m.cores {
+		c.TLB.Shootdown(r)
+		c.Walker.InvalidateRange(r)
+	}
+}
+
+// ColdHuge2M returns the promoted 2MB regions of p whose last L1-TLB miss
+// (the OS's liveness signal) is older than the given age in simulated
+// accesses — and which have been promoted for at least that long — ordered
+// oldest-first. These are the demotion candidates §3.3.3 describes: huge
+// pages whose data has gone cold.
+func (m *Machine) ColdHuge2M(p *Process, age uint64) []mem.VirtAddr {
+	now := m.accessCount
+	type cold struct {
+		base mem.VirtAddr
+		last uint64
+	}
+	var cs []cold
+	for base, promotedAt := range p.huge2M {
+		if now-promotedAt < age {
+			continue // too recent to judge
+		}
+		last, ok := p.hugeLastUse[base]
+		if !ok {
+			last = promotedAt
+		}
+		if now-last < age {
+			continue
+		}
+		// A region still resident in any core's TLB is certainly live:
+		// hot 2MB mappings can stop missing entirely, which is the
+		// whole point of promoting them.
+		resident := false
+		for _, c := range m.cores {
+			if c.TLB.Present(base, mem.Page2M) {
+				resident = true
+				break
+			}
+		}
+		if !resident {
+			cs = append(cs, cold{base: base, last: last})
+		}
+	}
+	// Oldest last-use first; address as deterministic tie-break.
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].last != cs[j].last {
+			return cs[i].last < cs[j].last
+		}
+		return cs[i].base < cs[j].base
+	})
+	out := make([]mem.VirtAddr, len(cs))
+	for i, c := range cs {
+		out[i] = c.base
+	}
+	return out
+}
+
+func (m *Machine) String() string {
+	name := "none"
+	if m.policy != nil {
+		name = m.policy.Name()
+	}
+	return fmt.Sprintf("Machine{cores=%d procs=%d policy=%s %v}",
+		len(m.cores), len(m.procs), name, m.phys)
+}

@@ -1,0 +1,160 @@
+package vmm
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+)
+
+// NUMA modeling. The paper's methodology section binds each process and its
+// memory to one node with numactl, because "memory access latency can
+// differ when accessing local vs. remote NUMA nodes and Linux's default
+// allocation policy can result in variable application runtimes for the
+// same huge page configuration". This model reproduces that effect: pages
+// are placed on a node at first touch according to the placement policy,
+// and accesses to remote pages pay a latency penalty. The ext-numa
+// experiment uses it to justify the bound configuration every other
+// experiment runs with (the default: NUMA off = a single node).
+
+// NUMAPolicy selects where a first-touched region's memory lands.
+type NUMAPolicy int
+
+const (
+	// NUMABind places every page on the process's home node (the paper's
+	// numactl --membind configuration).
+	NUMABind NUMAPolicy = iota
+	// NUMAInterleave round-robins 2MB regions across nodes (Linux's
+	// interleave policy; half the accesses pay the remote penalty on a
+	// 2-node machine).
+	NUMAInterleave
+	// NUMALocalFirst fills the home node until its capacity share is
+	// exhausted, then spills remote — Linux's default first-touch-local
+	// behaviour under memory pressure.
+	NUMALocalFirst
+)
+
+func (p NUMAPolicy) String() string {
+	switch p {
+	case NUMABind:
+		return "bind"
+	case NUMAInterleave:
+		return "interleave"
+	case NUMALocalFirst:
+		return "local-first"
+	}
+	return fmt.Sprintf("NUMAPolicy(%d)", int(p))
+}
+
+// NUMAConfig enables the multi-node memory model.
+type NUMAConfig struct {
+	// Nodes is the node count; 0 or 1 disables NUMA modeling.
+	Nodes int
+	// RemotePenalty is the extra cycles per access to a remote page
+	// (~60ns on 2-socket Haswell ≈ 1.4x local; we charge the delta).
+	RemotePenalty float64
+	// Policy is the placement policy.
+	Policy NUMAPolicy
+	// LocalShare caps the home node's share of a process's regions under
+	// NUMALocalFirst before spilling (models pressure; 1.0 = everything
+	// fits locally).
+	LocalShare float64
+}
+
+// DefaultNUMAConfig returns a 2-node machine with a Haswell-like remote
+// penalty, bound placement.
+func DefaultNUMAConfig() NUMAConfig {
+	return NUMAConfig{Nodes: 2, RemotePenalty: 50, Policy: NUMABind, LocalShare: 1.0}
+}
+
+// numaState tracks placement for one machine.
+type numaState struct {
+	cfg NUMAConfig
+	// placement maps (proc, 2MB region base) -> node.
+	placement map[demotePlacementKey]int
+	// regionsPlaced counts per-process placements (drives interleave and
+	// local-first decisions).
+	regionsPlaced map[int]int
+}
+
+type demotePlacementKey struct {
+	pid  int
+	base mem.VirtAddr
+}
+
+func newNUMAState(cfg NUMAConfig) *numaState {
+	if cfg.Nodes <= 1 {
+		return nil
+	}
+	if cfg.LocalShare <= 0 {
+		cfg.LocalShare = 1.0
+	}
+	return &numaState{
+		cfg:           cfg,
+		placement:     map[demotePlacementKey]int{},
+		regionsPlaced: map[int]int{},
+	}
+}
+
+// place returns the node for the region containing a, assigning it on first
+// touch per the policy.
+func (n *numaState) place(p *Process, a mem.VirtAddr) int {
+	k := demotePlacementKey{pid: p.ID, base: mem.PageBase(a, mem.Page2M)}
+	if node, ok := n.placement[k]; ok {
+		return node
+	}
+	idx := n.regionsPlaced[p.ID]
+	n.regionsPlaced[p.ID] = idx + 1
+	var node int
+	switch n.cfg.Policy {
+	case NUMABind:
+		node = p.HomeNode
+	case NUMAInterleave:
+		node = idx % n.cfg.Nodes
+	case NUMALocalFirst:
+		// Home node until LocalShare of the footprint's regions is
+		// placed there, then spill round-robin across the others.
+		totalRegions := int(p.Footprint() / uint64(mem.Page2M))
+		localCap := int(n.cfg.LocalShare * float64(totalRegions))
+		if idx < localCap {
+			node = p.HomeNode
+		} else {
+			node = (p.HomeNode + 1 + idx%(n.cfg.Nodes-1)) % n.cfg.Nodes
+		}
+	}
+	n.placement[k] = node
+	return node
+}
+
+// penalty returns the extra access cost for p touching a.
+func (n *numaState) penalty(p *Process, a mem.VirtAddr) float64 {
+	if n == nil {
+		return 0
+	}
+	if n.place(p, a) == p.HomeNode {
+		return 0
+	}
+	return n.cfg.RemotePenalty
+}
+
+// RemoteShare returns the fraction of p's placed regions on remote nodes
+// (diagnostics for the ext-numa experiment).
+func (m *Machine) RemoteShare(p *Process) float64 {
+	if m.numa == nil {
+		return 0
+	}
+	local, remote := 0, 0
+	for k, node := range m.numa.placement {
+		if k.pid != p.ID {
+			continue
+		}
+		if node == p.HomeNode {
+			local++
+		} else {
+			remote++
+		}
+	}
+	if local+remote == 0 {
+		return 0
+	}
+	return float64(remote) / float64(local+remote)
+}

@@ -1,0 +1,105 @@
+package vmm
+
+import (
+	"testing"
+
+	"pccsim/internal/mem"
+)
+
+func numaConfig(pol NUMAPolicy) Config {
+	cfg := testConfig()
+	cfg.NUMA = DefaultNUMAConfig()
+	cfg.NUMA.Policy = pol
+	return cfg
+}
+
+func TestNUMADisabledByDefault(t *testing.T) {
+	m := NewMachine(testConfig(), nil)
+	p := m.AddProcess("t", testVMA(2), 10)
+	m.Run(&Job{Proc: p, Stream: seqStream(p.Ranges()[0], 1)})
+	if m.RemoteShare(p) != 0 {
+		t.Error("single-node machine has no remote accesses")
+	}
+}
+
+func TestNUMABindKeepsEverythingLocal(t *testing.T) {
+	m := NewMachine(numaConfig(NUMABind), nil)
+	p := m.AddProcess("t", testVMA(4), 10)
+	m.Run(&Job{Proc: p, Stream: seqStream(p.Ranges()[0], 1)})
+	if got := m.RemoteShare(p); got != 0 {
+		t.Errorf("bound placement remote share = %f", got)
+	}
+}
+
+func TestNUMAInterleaveSplitsPlacement(t *testing.T) {
+	m := NewMachine(numaConfig(NUMAInterleave), nil)
+	p := m.AddProcess("t", testVMA(8), 10)
+	m.Run(&Job{Proc: p, Stream: seqStream(p.Ranges()[0], 1)})
+	if got := m.RemoteShare(p); got != 0.5 {
+		t.Errorf("2-node interleave remote share = %f, want 0.5", got)
+	}
+}
+
+func TestNUMARemotePenaltyCosts(t *testing.T) {
+	run := func(pol NUMAPolicy) float64 {
+		m := NewMachine(numaConfig(pol), nil)
+		p := m.AddProcess("t", testVMA(4), 10)
+		return m.Run(&Job{Proc: p, Stream: seqStream(p.Ranges()[0], 3)}).Cycles
+	}
+	bound, inter := run(NUMABind), run(NUMAInterleave)
+	if inter <= bound {
+		t.Errorf("interleaved (%f) must cost more than bound (%f)", inter, bound)
+	}
+	// Exactly half the 6144 accesses (4 regions x 512 pages x 3 rounds)
+	// pay the 50-cycle remote penalty.
+	wantDelta := 6144.0 / 2 * 50
+	if got := inter - bound; got != wantDelta {
+		t.Errorf("penalty delta = %f, want %f", got, wantDelta)
+	}
+}
+
+func TestNUMALocalFirstSpillsUnderPressure(t *testing.T) {
+	cfg := numaConfig(NUMALocalFirst)
+	cfg.NUMA.LocalShare = 0.5 // only half the footprint fits locally
+	m := NewMachine(cfg, nil)
+	p := m.AddProcess("t", testVMA(8), 10)
+	m.Run(&Job{Proc: p, Stream: seqStream(p.Ranges()[0], 1)})
+	got := m.RemoteShare(p)
+	if got < 0.4 || got > 0.6 {
+		t.Errorf("local-first at 50%% share: remote = %f, want ~0.5", got)
+	}
+	// With full local share nothing spills.
+	cfg.NUMA.LocalShare = 1.0
+	m2 := NewMachine(cfg, nil)
+	p2 := m2.AddProcess("t", testVMA(8), 10)
+	m2.Run(&Job{Proc: p2, Stream: seqStream(p2.Ranges()[0], 1)})
+	if m2.RemoteShare(p2) != 0 {
+		t.Error("full local share must not spill")
+	}
+}
+
+func TestNUMAHomeNodeRespected(t *testing.T) {
+	m := NewMachine(numaConfig(NUMABind), nil)
+	p := m.AddProcess("t", testVMA(2), 10)
+	p.HomeNode = 1
+	m.Run(&Job{Proc: p, Stream: seqStream(p.Ranges()[0], 1)})
+	if m.RemoteShare(p) != 0 {
+		t.Error("binding must follow the process's home node")
+	}
+	// Regions were placed on node 1; a hypothetical node-0 process
+	// sharing them would see them as remote — verify via placement map
+	// through the public surface: re-binding home to 0 flips the share.
+	p.HomeNode = 0
+	if m.RemoteShare(p) != 1 {
+		t.Error("placements must sit on the original home node")
+	}
+	_ = mem.Page2M
+}
+
+func TestNUMAPolicyString(t *testing.T) {
+	for _, p := range []NUMAPolicy{NUMABind, NUMAInterleave, NUMALocalFirst, NUMAPolicy(9)} {
+		if p.String() == "" {
+			t.Errorf("policy %d must stringify", int(p))
+		}
+	}
+}

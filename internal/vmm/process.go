@@ -1,0 +1,231 @@
+package vmm
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/ptw"
+)
+
+// pageState encodes the mapping state of one 4KB virtual page.
+type pageState uint8
+
+const (
+	stateUnmapped pageState = iota
+	state4K
+	state2M // part of a 2MB huge mapping
+	state1G // part of a 1GB giant mapping
+)
+
+// vma is one simulated virtual memory area with a flat per-4KB-page state
+// array for O(1) mapping lookups on the access hot path. The authoritative
+// page table (with accessed bits and walk structure) is kept in sync.
+type vma struct {
+	r     mem.Range
+	state []pageState
+	// touched marks 4KB pages the application has actually accessed,
+	// independent of mapping granularity — the basis of the memory-bloat
+	// metric (huge-backed bytes never touched, §2.1's THP bloat problem).
+	touched []bool
+}
+
+func (v *vma) stateOf(a mem.VirtAddr) pageState {
+	return v.state[uint64(a-v.r.Start)>>12]
+}
+
+func (v *vma) setRange(start, end mem.VirtAddr, s pageState) {
+	if start < v.r.Start {
+		start = v.r.Start
+	}
+	if end > v.r.End {
+		end = v.r.End
+	}
+	i := uint64(start-v.r.Start) >> 12
+	j := uint64(end-v.r.Start) >> 12
+	for ; i < j; i++ {
+		v.state[i] = s
+	}
+}
+
+// Process is one simulated address space: its page table, VMAs, huge page
+// inventory and runtime accounting.
+type Process struct {
+	ID    int
+	Name  string
+	Table *ptw.Table
+
+	vmas      []*vma
+	footprint uint64 // bytes across VMAs
+
+	// BaseCPA is the workload's base cycles-per-access (cost model input).
+	BaseCPA float64
+
+	// HomeNode is the NUMA node the process's CPUs live on (only
+	// meaningful when the machine's NUMA model is enabled).
+	HomeNode int
+
+	// MaxHugeBytes caps the huge-page-backed bytes for this process
+	// (the utility-curve budget). 0 means unlimited.
+	MaxHugeBytes uint64
+
+	hugeBytes uint64
+	// huge2M records currently-2MB-mapped region bases, with the tick at
+	// which each was promoted (for demotion ordering).
+	huge2M map[mem.VirtAddr]uint64
+	// hugeLastUse records the last simulated time each 2MB mapping missed
+	// the L1 TLB — the OS-visible liveness signal demotion relies on
+	// (regions resident in the L1 2MB TLB are certainly hot; regions that
+	// stop missing entirely went cold).
+	hugeLastUse map[mem.VirtAddr]uint64
+	// huge1G records 1GB-mapped region bases.
+	huge1G map[mem.VirtAddr]uint64
+
+	// Promotions / demotions performed for this process.
+	Promotions2M uint64
+	Promotions1G uint64
+	Demotions    uint64
+	Faults       uint64
+	HugeFaults   uint64
+
+	// RuntimeCycles is fixed when the process's stream completes during a
+	// Run (max cycles across its cores at that instant).
+	RuntimeCycles float64
+	finished      bool
+}
+
+// newProcess builds an empty address space over the given VMAs.
+func newProcess(id int, name string, ranges []mem.Range, baseCPA float64) *Process {
+	p := &Process{
+		ID:          id,
+		Name:        name,
+		Table:       ptw.NewTable(),
+		BaseCPA:     baseCPA,
+		huge2M:      map[mem.VirtAddr]uint64{},
+		hugeLastUse: map[mem.VirtAddr]uint64{},
+		huge1G:      map[mem.VirtAddr]uint64{},
+	}
+	for _, r := range ranges {
+		if !mem.Aligned(r.Start, mem.Page4K) || !mem.Aligned(r.End, mem.Page4K) {
+			panic(fmt.Sprintf("vmm: VMA %v not page aligned", r))
+		}
+		p.vmas = append(p.vmas, &vma{
+			r:       r,
+			state:   make([]pageState, r.Len()>>12),
+			touched: make([]bool, r.Len()>>12),
+		})
+		p.footprint += r.Len()
+	}
+	return p
+}
+
+// Footprint returns the total VMA bytes (the denominator for promotion
+// budgets and utility curves).
+func (p *Process) Footprint() uint64 { return p.footprint }
+
+// HugeBytes returns the bytes currently backed by huge pages.
+func (p *Process) HugeBytes() uint64 { return p.hugeBytes }
+
+// HugePages2M returns the count of 2MB mappings.
+func (p *Process) HugePages2M() int { return len(p.huge2M) }
+
+// Ranges returns the process's VMAs (the OS policies scan these).
+func (p *Process) Ranges() []mem.Range {
+	rs := make([]mem.Range, len(p.vmas))
+	for i, v := range p.vmas {
+		rs[i] = v.r
+	}
+	return rs
+}
+
+// vmaOf finds the VMA containing a (nil if outside every VMA).
+func (p *Process) vmaOf(a mem.VirtAddr) *vma {
+	for _, v := range p.vmas {
+		if v.r.Contains(a) {
+			return v
+		}
+	}
+	return nil
+}
+
+// StateOf reports the mapping state of the 4KB page containing a.
+func (p *Process) StateOf(a mem.VirtAddr) (mem.PageSize, bool) {
+	v := p.vmaOf(a)
+	if v == nil {
+		return 0, false
+	}
+	switch v.stateOf(a) {
+	case state4K:
+		return mem.Page4K, true
+	case state2M:
+		return mem.Page2M, true
+	case state1G:
+		return mem.Page1G, true
+	}
+	return 0, false
+}
+
+// IsHuge2M reports whether the 2MB region at base is huge-mapped.
+func (p *Process) IsHuge2M(base mem.VirtAddr) bool {
+	_, ok := p.huge2M[mem.PageBase(base, mem.Page2M)]
+	return ok
+}
+
+// regionEligible2M reports whether the 2MB region containing a lies fully
+// within one VMA (so promotion is legal) and returns the region.
+func (p *Process) regionEligible2M(a mem.VirtAddr) (mem.Region, *vma, bool) {
+	r := mem.RegionOf(a, mem.Page2M)
+	v := p.vmaOf(r.Base)
+	if v == nil || r.End() > v.r.End {
+		return r, nil, false
+	}
+	return r, v, true
+}
+
+// mappedPagesIn counts 4KB-mapped pages inside the region (promotion of a
+// region first faults in its unmapped tail; we track how many were backed).
+func (p *Process) mappedPagesIn(v *vma, r mem.Region) (mapped4k, huge int) {
+	i := uint64(r.Base-v.r.Start) >> 12
+	j := i + r.Size.BasePagesPer()
+	for ; i < j; i++ {
+		switch v.state[i] {
+		case state4K:
+			mapped4k++
+		case state2M, state1G:
+			huge++
+		}
+	}
+	return
+}
+
+// markTouched records an application access to the 4KB page containing a.
+func (v *vma) markTouched(a mem.VirtAddr) {
+	v.touched[uint64(a-v.r.Start)>>12] = true
+}
+
+// BloatBytes returns the memory-bloat metric: bytes inside huge mappings
+// whose 4KB pages the application never touched — memory a base-page
+// policy would not have allocated at all (§2.1's THP bloat).
+func (p *Process) BloatBytes() uint64 {
+	var bloat uint64
+	for _, v := range p.vmas {
+		for i := range v.state {
+			if (v.state[i] == state2M || v.state[i] == state1G) && !v.touched[i] {
+				bloat += uint64(mem.Page4K)
+			}
+		}
+	}
+	return bloat
+}
+
+// TouchedBytes returns the bytes of 4KB pages the application accessed.
+func (p *Process) TouchedBytes() uint64 {
+	var n uint64
+	for _, v := range p.vmas {
+		for i := range v.touched {
+			if v.touched[i] {
+				n += uint64(mem.Page4K)
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,232 @@
+package vmm
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/tlb"
+	"pccsim/internal/trace"
+)
+
+// Job binds a process to its access stream and the cores its threads run
+// on: thread t executes on Cores[t%len(Cores)].
+type Job struct {
+	Proc   *Process
+	Stream trace.Stream
+	Cores  []int
+}
+
+// jobSlice is how many accesses one job advances before the scheduler
+// rotates to the next live job, simulating concurrent execution of multiple
+// processes on a shared clock.
+const jobSlice = 4096
+
+// RunResult summarizes one simulation run.
+type RunResult struct {
+	// Cycles is the modeled wall time: the max core cycle count.
+	Cycles float64
+	// Accesses is the total memory references simulated.
+	Accesses uint64
+	// Walks is the total page table walks (all cores).
+	Walks uint64
+	// L1Misses counts accesses that missed the L1 TLB (hit L2 or walked).
+	L1Misses uint64
+	// PTWRate is Walks/Accesses, the paper's "PTW %".
+	PTWRate float64
+	// L1MissRate is L1Misses/Accesses, the paper's "TLB Miss %".
+	L1MissRate float64
+	// StallCycles aggregates promotion/fault machinery time across cores.
+	StallCycles float64
+	// BackgroundCycles is the async promotion work performed off the
+	// critical path.
+	BackgroundCycles float64
+	// HugePages2M is the total 2MB mappings live at completion.
+	HugePages2M int
+	// HugePages1G is the total 1GB mappings live at completion.
+	HugePages1G int
+	// Promotions and Demotions across all processes.
+	Promotions uint64
+	Demotions  uint64
+	// PerProc holds each process's completion snapshot in job order.
+	PerProc []ProcResult
+}
+
+// ProcResult is one process's completion record.
+type ProcResult struct {
+	Name          string
+	RuntimeCycles float64
+	Accesses      uint64
+	HugePages2M   int
+	HugePages1G   int
+	Promotions    uint64
+	Footprint     uint64
+}
+
+// Run drives the machine until every job's stream is exhausted. It may be
+// called once per machine (state accumulates; build a fresh machine per
+// experiment run).
+func (m *Machine) Run(jobs ...*Job) RunResult {
+	type liveJob struct {
+		*Job
+		accesses uint64
+		done     bool
+	}
+	live := make([]*liveJob, len(jobs))
+	for i, j := range jobs {
+		if len(j.Cores) == 0 {
+			j.Cores = []int{0}
+		}
+		for _, c := range j.Cores {
+			if c < 0 || c >= len(m.cores) {
+				panic(fmt.Sprintf("vmm: job core %d out of range", c))
+			}
+		}
+		live[i] = &liveJob{Job: j}
+	}
+
+	remaining := len(live)
+	for remaining > 0 {
+		for _, j := range live {
+			if j.done {
+				continue
+			}
+			for i := 0; i < jobSlice; i++ {
+				a, ok := j.Stream.Next()
+				if !ok {
+					j.done = true
+					remaining--
+					j.Proc.finished = true
+					j.Proc.RuntimeCycles = m.maxCycles(j.Cores)
+					break
+				}
+				core := m.cores[j.Cores[a.Thread%len(j.Cores)]]
+				m.step(core, j.Proc, a.Addr)
+				j.accesses++
+				if m.accessCount >= m.nextTick {
+					m.nextTick += m.cfg.PromotionInterval
+					if m.policy != nil {
+						m.policy.Tick(m)
+					}
+				}
+			}
+		}
+	}
+
+	res := RunResult{
+		Accesses:         m.accessCount,
+		BackgroundCycles: m.BackgroundCycles,
+	}
+	for _, c := range m.cores {
+		if c.Cycles > res.Cycles {
+			res.Cycles = c.Cycles
+		}
+		res.StallCycles += c.StallCycles
+		res.Walks += c.TLB.Walks()
+		l1 := c.TLB.L1(mem.Page4K).Stats().Misses +
+			c.TLB.L1(mem.Page2M).Stats().Misses +
+			c.TLB.L1(mem.Page1G).Stats().Misses
+		res.L1Misses += l1
+	}
+	if res.Accesses > 0 {
+		res.PTWRate = float64(res.Walks) / float64(res.Accesses)
+		res.L1MissRate = float64(res.L1Misses) / float64(res.Accesses)
+	}
+	for ji, j := range live {
+		p := j.Proc
+		res.HugePages2M += p.HugePages2M()
+		res.HugePages1G += p.HugePages1G()
+		res.Promotions += p.Promotions2M + p.Promotions1G
+		res.Demotions += p.Demotions
+		res.PerProc = append(res.PerProc, ProcResult{
+			Name:          p.Name,
+			RuntimeCycles: p.RuntimeCycles,
+			Accesses:      live[ji].accesses,
+			HugePages2M:   p.HugePages2M(),
+			HugePages1G:   p.HugePages1G(),
+			Promotions:    p.Promotions2M,
+			Footprint:     p.Footprint(),
+		})
+	}
+	return res
+}
+
+// maxCycles returns the max cycle count across the given core IDs.
+func (m *Machine) maxCycles(cores []int) float64 {
+	mx := 0.0
+	for _, ci := range cores {
+		if c := m.cores[ci].Cycles; c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// step simulates one memory access by process p on core c.
+func (m *Machine) step(c *Core, p *Process, addr mem.VirtAddr) {
+	m.accessCount++
+	c.Accesses++
+
+	v := p.vmaOf(addr)
+	if v == nil {
+		// Access outside every VMA: a wild pointer the workload
+		// generator should never produce.
+		panic(fmt.Sprintf("vmm: access %#x outside VMAs of %s", uint64(addr), p.Name))
+	}
+	v.markTouched(addr)
+	var size mem.PageSize
+	switch v.stateOf(addr) {
+	case state4K:
+		size = mem.Page4K
+	case state2M:
+		size = mem.Page2M
+	case state1G:
+		size = mem.Page1G
+	default:
+		m.fault(c, p, addr)
+		s, mapped := p.StateOf(addr)
+		if !mapped {
+			panic(fmt.Sprintf("vmm: fault left %#x unmapped in %s", uint64(addr), p.Name))
+		}
+		size = s
+	}
+
+	cost := p.BaseCPA
+	if cost == 0 {
+		cost = m.cfg.Cost.BaseCPA
+	}
+	if m.numa != nil {
+		cost += m.numa.penalty(p, addr)
+	}
+
+	switch c.TLB.Access(addr, size) {
+	case tlb.HitL1:
+	case tlb.HitL2:
+		cost += m.cfg.Cost.L2TLBHit
+		if size == mem.Page2M {
+			p.hugeLastUse[mem.PageBase(addr, mem.Page2M)] = m.accessCount
+		}
+	default: // tlb.Miss → page table walk
+		info := c.Walker.Walk(p.Table, addr)
+		cost += m.cfg.Cost.WalkBase + float64(info.Levels)*m.cfg.Cost.WalkRef
+		c.TLB.Fill(addr, size)
+		if size == mem.Page2M {
+			p.hugeLastUse[mem.PageBase(addr, mem.Page2M)] = m.accessCount
+		}
+
+		// PCC insertion path (Fig. 3): gated by the pre-walk accessed
+		// bit at the PMD (2MB) / PUD (1GB) level — the cold-miss filter.
+		if c.PCC2M != nil {
+			if size == mem.Page1G {
+				// 1GB-mapped walks never feed the 2MB PCC.
+			} else if info.PMDWasAccessed || m.cfg.DisableColdFilter {
+				c.PCC2M.Record(addr)
+			} else {
+				c.Walker.NoteColdFiltered()
+			}
+		}
+		if c.PCC1G != nil && (info.PUDWasAccessed || m.cfg.DisableColdFilter) {
+			c.PCC1G.Record(addr)
+		}
+	}
+	c.Cycles += cost
+}

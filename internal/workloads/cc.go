@@ -1,0 +1,62 @@
+package workloads
+
+import (
+	"pccsim/internal/trace"
+)
+
+// KernelCC is the Shiloach-Vishkin-style connected components kernel — the
+// fourth GAP kernel, provided as a library extension beyond the paper's
+// three evaluation kernels (its TLB behaviour resembles PageRank's: the
+// component-label array is the HUB).
+const KernelCC Kernel = "CC"
+
+// cc emits label-propagation connected components: repeated sweeps over all
+// edges, reading both endpoints' labels (irregular) and writing the
+// minimum, until a sweep makes no change. The paper's kernels treat the
+// graph as directed; CC uses the out-edges symmetrically, which suffices
+// for the access pattern.
+func (w *GraphWorkload) cc() trace.Stream {
+	return NewStream(func(e *E) {
+		if !w.Params.SkipInit {
+			EmitInit(e, w.Lay.Arrays())
+		}
+		g := w.G
+		labels := make([]uint32, g.N)
+		for i := range labels {
+			labels[i] = uint32(i)
+		}
+		// Bounded sweeps: power-law graphs converge in a handful.
+		const maxSweeps = 8
+		for sweep := 0; sweep < maxSweeps; sweep++ {
+			changed := false
+			for u := 0; u < g.N; u++ {
+				t := w.ownerOf(uint32(u))
+				e.TouchT(w.outIndex.Addr(uint64(u)), t)
+				// Own label: sequential-ish read.
+				e.TouchT(w.vprop.Addr(uint64(u)), t)
+				lu := labels[u]
+				base := g.OutIndex[u]
+				for k, v := range g.Out(uint32(u)) {
+					e.TouchT(w.outNeigh.Addr(base+uint64(k)), t)
+					// Neighbor label: the irregular HUB access.
+					e.TouchT(w.vprop.Addr(uint64(v)), t)
+					lv := labels[v]
+					switch {
+					case lv < lu:
+						lu = lv
+						labels[u] = lu
+						e.TouchWT(w.vprop.Addr(uint64(u)), t)
+						changed = true
+					case lu < lv:
+						labels[v] = lu
+						e.TouchWT(w.vprop.Addr(uint64(v)), t)
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	})
+}

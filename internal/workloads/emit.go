@@ -1,0 +1,137 @@
+// Package workloads implements the paper's evaluation applications as
+// address-emitting programs: the GAP graph kernels (BFS, SSSP, PageRank)
+// executed natively over real CSR graphs while emitting the virtual
+// addresses the algorithm's data structures would occupy, plus
+// locality-calibrated models of the PARSEC/SPEC workloads (canneal, dedup,
+// mcf, omnetpp, xalancbmk) whose binaries are unavailable offline.
+package workloads
+
+import (
+	"pccsim/internal/mem"
+	"pccsim/internal/trace"
+)
+
+// chunkSize is the number of accesses buffered between the producer
+// goroutine and the consuming simulator. One channel operation per chunk
+// keeps emission overhead negligible.
+const chunkSize = 1 << 14
+
+// E is the emission context handed to a workload body. The body calls
+// Touch/TouchW for every data-structure reference it performs; the emitter
+// batches them into chunks for the consumer. Emission aborts (via panic
+// recovered in the producer) when the consumer closes the stream early.
+type E struct {
+	buf  []trace.Access
+	ch   chan []trace.Access
+	stop chan struct{}
+}
+
+type stopEmission struct{}
+
+// Touch emits a read of addr on thread 0.
+func (e *E) Touch(addr mem.VirtAddr) { e.emit(addr, 0, false) }
+
+// TouchW emits a write of addr on thread 0.
+func (e *E) TouchW(addr mem.VirtAddr) { e.emit(addr, 0, true) }
+
+// TouchT emits a read of addr attributed to the given simulated thread.
+func (e *E) TouchT(addr mem.VirtAddr, thread int) { e.emit(addr, thread, false) }
+
+// TouchWT emits a write of addr attributed to the given simulated thread.
+func (e *E) TouchWT(addr mem.VirtAddr, thread int) { e.emit(addr, thread, true) }
+
+func (e *E) emit(addr mem.VirtAddr, thread int, write bool) {
+	e.buf = append(e.buf, trace.Access{Addr: addr, Thread: thread, Write: write})
+	if len(e.buf) >= chunkSize {
+		e.flush()
+	}
+}
+
+func (e *E) flush() {
+	if len(e.buf) == 0 {
+		return
+	}
+	select {
+	case e.ch <- e.buf:
+	case <-e.stop:
+		panic(stopEmission{})
+	}
+	e.buf = make([]trace.Access, 0, chunkSize)
+}
+
+// emitterStream adapts the producer goroutine to trace.Stream.
+type emitterStream struct {
+	ch   chan []trace.Access
+	stop chan struct{}
+	cur  []trace.Access
+	pos  int
+	done bool
+}
+
+// NewStream runs body in a producer goroutine and returns the resulting
+// access stream. The stream implements Close(); closing it early unblocks
+// and terminates the producer.
+func NewStream(body func(*E)) trace.Stream {
+	s := &emitterStream{
+		ch:   make(chan []trace.Access, 4),
+		stop: make(chan struct{}),
+	}
+	go func() {
+		e := &E{buf: make([]trace.Access, 0, chunkSize), ch: s.ch, stop: s.stop}
+		defer close(s.ch)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopEmission); !ok {
+					panic(r)
+				}
+			}
+		}()
+		body(e)
+		e.flush()
+	}()
+	return s
+}
+
+// Next implements trace.Stream.
+func (s *emitterStream) Next() (trace.Access, bool) {
+	for {
+		if s.pos < len(s.cur) {
+			a := s.cur[s.pos]
+			s.pos++
+			return a, true
+		}
+		if s.done {
+			return trace.Access{}, false
+		}
+		chunk, ok := <-s.ch
+		if !ok {
+			s.done = true
+			return trace.Access{}, false
+		}
+		s.cur, s.pos = chunk, 0
+	}
+}
+
+// Close terminates the producer goroutine if it is still running and drops
+// any buffered accesses; the stream reads as exhausted afterwards. Safe to
+// call multiple times.
+func (s *emitterStream) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	// Drain to let a producer blocked on send observe stop.
+	for range s.ch {
+	}
+	s.cur, s.pos = nil, 0
+	s.done = true
+}
+
+// CloseStream closes s if it supports closing (early-terminated consumers
+// should always call this to avoid leaking producer goroutines).
+func CloseStream(s trace.Stream) {
+	if c, ok := s.(interface{ Close() }); ok {
+		c.Close()
+	}
+}

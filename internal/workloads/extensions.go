@@ -1,0 +1,155 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/trace"
+)
+
+// This file holds the workloads used by the extension experiments:
+//
+//   - Phased: a two-phase application (§3.3.3's "Application Phases") whose
+//     hot set moves between disjoint halves of its footprint mid-run —
+//     the scenario where demoting cold huge pages pays off.
+//   - BigTable: a single giant zipf-accessed table spanning multiple 1GB
+//     regions, the workload class §3.2.3's 1GB page support targets.
+
+// PhasedParams scales the phased workload.
+type PhasedParams struct {
+	// HalfBytes is the size of each phase's working half.
+	HalfBytes uint64
+	// AccessesPerPhase is the stream length of each phase.
+	AccessesPerPhase uint64
+	// Phases is the number of alternating phases (>= 2).
+	Phases int
+}
+
+// DefaultPhasedParams returns a two-phase configuration sized like the
+// graph kernels' property arrays.
+func DefaultPhasedParams() PhasedParams {
+	return PhasedParams{HalfBytes: 64 << 20, AccessesPerPhase: 8_000_000, Phases: 2}
+}
+
+// Phased builds the phased workload: phase i hammers half i%2 with a
+// zipf-reused pattern and never touches the other half.
+func Phased(p PhasedParams) *SynthApp {
+	if p.Phases < 2 {
+		p.Phases = 2
+	}
+	lay := NewLayout()
+	a := lay.Alloc("half_a", p.HalfBytes/64, 64)
+	b := lay.Alloc("half_b", p.HalfBytes/64, 64)
+	halves := []Array{a, b}
+	return &SynthApp{
+		name:     "phased",
+		lay:      lay,
+		accesses: p.AccessesPerPhase,
+		construct: func(rng *rand.Rand, n uint64) trace.Stream {
+			var phases []trace.Stream
+			for i := 0; i < p.Phases; i++ {
+				h := halves[i%2]
+				phases = append(phases,
+					trace.Zipf(h.R.Start, h.R.Len(), 1.2, n, sub(rng)))
+			}
+			return trace.Phased(phases...)
+		},
+	}
+}
+
+// SparseParams scales the sparse-touch workload.
+type SparseParams struct {
+	// VMABytes is the reserved address range.
+	VMABytes uint64
+	// TouchFraction is the fraction of 4KB pages ever accessed; the rest
+	// is reserved-but-untouched (hash table slack, arena headroom — the
+	// allocation pattern that makes greedy THP bloat).
+	TouchFraction float64
+	// Accesses is the stream length.
+	Accesses uint64
+}
+
+// DefaultSparseParams reserves 256MB and touches 12.5% of it.
+func DefaultSparseParams() SparseParams {
+	return SparseParams{VMABytes: 256 << 20, TouchFraction: 0.125, Accesses: 8_000_000}
+}
+
+// Sparse builds the bloat-study workload over a large lazily-populated
+// arena: a hot core (fraction TouchFraction of the arena's 2MB regions,
+// zipf-reused — genuinely TLB-relevant) plus a cold remainder where each
+// region has just a handful of pages touched once, early (directory
+// metadata, hash-table slack). There is deliberately no init sweep —
+// lazy population is exactly when fault-time greedy THP backs 2MB for a
+// single touched page, while informed promotion should only ever collapse
+// the hot core.
+func Sparse(p SparseParams) *SynthApp {
+	lay := NewLayout()
+	arena := lay.Alloc("arena", p.VMABytes/64, 64)
+	return &SynthApp{
+		name:     "sparse",
+		lay:      lay,
+		accesses: p.Accesses,
+		noInit:   true,
+		construct: func(rng *rand.Rand, n uint64) trace.Stream {
+			regions := p.VMABytes / uint64(mem.Page2M)
+			hotRegions := uint64(float64(regions) * p.TouchFraction)
+			if hotRegions == 0 {
+				hotRegions = 1
+			}
+			hotBytes := hotRegions * uint64(mem.Page2M)
+
+			// Cold phase: 8 scattered one-shot touches per cold region.
+			cold := NewStream(func(e *E) {
+				for r := hotRegions; r < regions; r++ {
+					base := arena.R.Start + mem.VirtAddr(r*uint64(mem.Page2M))
+					for k := 0; k < 8; k++ {
+						e.TouchW(base + mem.VirtAddr(k*64)<<12)
+					}
+				}
+			})
+			hot := trace.Zipf(arena.R.Start, hotBytes, 1.1, n, sub(rng))
+			return trace.Concat(cold, hot)
+		},
+	}
+}
+
+// BigTableParams scales the 1GB-region workload.
+type BigTableParams struct {
+	// TableBytes is the table size; must span multiple 1GB regions for
+	// the 1GB PCC to matter.
+	TableBytes uint64
+	// Accesses is the stream length.
+	Accesses uint64
+	// Spread selects the access pattern: true spreads accesses uniformly
+	// across each 1GB region's 2MB sub-regions (the 1GB-friendly shape);
+	// false concentrates them in a few 2MB regions (2MB pages suffice).
+	Spread bool
+}
+
+// DefaultBigTableParams returns a 2GB table.
+func DefaultBigTableParams() BigTableParams {
+	return BigTableParams{TableBytes: 2 << 30, Accesses: 10_000_000, Spread: true}
+}
+
+// BigTable builds the giant-table workload. The virtual layout is 1GB-
+// aligned so whole 1GB regions fall inside the VMA.
+func BigTable(p BigTableParams) *SynthApp {
+	lay := NewLayoutAt(mem.VirtAddr(1) << 40) // 1GB-aligned base
+	table := lay.Alloc("table", p.TableBytes/256, 256)
+	return &SynthApp{
+		name:     "bigtable",
+		lay:      lay,
+		accesses: p.Accesses,
+		construct: func(rng *rand.Rand, n uint64) trace.Stream {
+			if p.Spread {
+				// Uniform over the whole table: every 2MB region is
+				// equally (in)frequent, but each 1GB region aggregates
+				// 512x that — the exact shape §3.2.3's comparison rule
+				// detects.
+				return trace.UniformRandom(table.R.Start, table.R.Len(), n, sub(rng))
+			}
+			// Concentrated: hot data fits a few 2MB regions.
+			return trace.HotCold(table.R.Start, table.R.Len(), 8<<20, 0.95, n, sub(rng))
+		},
+	}
+}

@@ -1,0 +1,277 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"pccsim/internal/graph"
+	"pccsim/internal/mem"
+	"pccsim/internal/trace"
+)
+
+// Workload is the interface the simulator runs: a named program with a
+// simulated memory image and a replayable access stream.
+type Workload interface {
+	// Name identifies the workload (e.g. "BFS", "mcf").
+	Name() string
+	// Footprint is the simulated memory image size in bytes.
+	Footprint() uint64
+	// Ranges lists the simulated VMAs backing the image.
+	Ranges() []mem.Range
+	// Stream returns a fresh access stream (replays identically).
+	Stream() trace.Stream
+	// BaseCPA is the workload's base cycles-per-access for the cost model
+	// (how memory-bound its non-translation work is).
+	BaseCPA() float64
+}
+
+// Spec describes a workload instantiation request.
+type Spec struct {
+	// Name selects the application: BFS, SSSP, PR, canneal, omnetpp,
+	// xalancbmk, dedup, mcf.
+	Name string
+	// Dataset selects the graph input for BFS/SSSP/PR (ignored for
+	// others). Empty means DatasetKron.
+	Dataset GraphDataset
+	// Sorted applies degree-based grouping to the graph input.
+	Sorted bool
+	// Scale is the graph scale (2^scale vertices); 0 means the default.
+	Scale int
+	// Threads partitions the graph kernels; 0/1 is single-threaded.
+	Threads int
+	// SizeScale scales the synthetic apps' footprints; 0 means 1.0.
+	SizeScale float64
+	// Accesses overrides the synthetic apps' stream length; 0 = default.
+	Accesses uint64
+	// SkipInit omits the graph kernels' initialization pass (used by the
+	// reuse-distance characterization; see GraphParams.SkipInit).
+	SkipInit bool
+}
+
+// DefaultScale is the default graph scale: 2^20 vertices, 16x edges. The
+// resulting simulated footprints (hundreds of MB against a 4MB L2 TLB
+// reach) preserve the paper's footprint >> TLB-coverage regime, with the
+// vertex property arrays (the HUBs) at a few percent of the footprint as in
+// the paper's inputs.
+const DefaultScale = 20
+
+// graphApp adapts GraphWorkload to the Workload interface.
+type graphApp struct {
+	name    string
+	w       *GraphWorkload
+	baseCPA float64
+}
+
+func (g *graphApp) Name() string         { return g.name }
+func (g *graphApp) Footprint() uint64    { return g.w.Footprint() }
+func (g *graphApp) Ranges() []mem.Range  { return g.w.Ranges() }
+func (g *graphApp) Stream() trace.Stream { return g.w.Stream() }
+func (g *graphApp) BaseCPA() float64     { return g.baseCPA }
+
+// synthAdapter wraps SynthApp into Workload with a CPA.
+type synthAdapter struct {
+	*SynthApp
+	baseCPA float64
+}
+
+func (s *synthAdapter) BaseCPA() float64 { return s.baseCPA }
+
+// baseCPAFor returns the calibrated base cycles-per-access per application.
+// Graph kernels and canneal are memory-latency-bound (low base cost, so
+// translation overhead is a large fraction); dedup/mcf are cache-optimized
+// (high base cost dominated by other work).
+func baseCPAFor(name string) float64 {
+	switch name {
+	case "BFS", "CC":
+		return 20
+	case "SSSP":
+		return 24
+	case "PR":
+		return 22
+	case "canneal":
+		return 20
+	case "omnetpp":
+		return 22
+	case "xalancbmk":
+		return 26
+	case "dedup":
+		return 30
+	case "mcf":
+		return 32
+	default:
+		return 22
+	}
+}
+
+// AppNames lists the eight evaluation applications in the paper's order.
+func AppNames() []string {
+	return []string{"BFS", "SSSP", "PR", "canneal", "omnetpp", "xalancbmk", "dedup", "mcf"}
+}
+
+// GraphAppNames lists the TLB-sensitive graph kernels.
+func GraphAppNames() []string { return []string{"BFS", "SSSP", "PR"} }
+
+// Build instantiates a workload from a spec. Graph construction is
+// deterministic and cached per (dataset, scale, sorted) so repeated builds
+// in a sweep are cheap.
+func Build(s Spec) (Workload, error) {
+	switch s.Name {
+	case "BFS", "SSSP", "PR", "CC":
+		return buildGraphApp(s)
+	case "canneal", "omnetpp", "xalancbmk", "dedup", "mcf":
+		p := DefaultSynthParams()
+		if s.SizeScale > 0 {
+			p.SizeScale = s.SizeScale
+		}
+		if s.Accesses > 0 {
+			p.Accesses = s.Accesses
+		}
+		var app *SynthApp
+		switch s.Name {
+		case "canneal":
+			app = Canneal(p)
+		case "omnetpp":
+			app = Omnetpp(p)
+		case "xalancbmk":
+			app = Xalancbmk(p)
+		case "dedup":
+			app = Dedup(p)
+		case "mcf":
+			app = Mcf(p)
+		}
+		return &synthAdapter{SynthApp: app, baseCPA: baseCPAFor(s.Name)}, nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown application %q", s.Name)
+	}
+}
+
+type graphKey struct {
+	d      GraphDataset
+	scale  int
+	sorted bool
+}
+
+func buildGraphApp(s Spec) (Workload, error) {
+	scale := s.Scale
+	if scale == 0 {
+		scale = DefaultScale
+	}
+	d := s.Dataset
+	if d == "" {
+		d = DatasetKron
+	}
+	g, err := cachedDataset(d, scale, s.Sorted)
+	if err != nil {
+		return nil, err
+	}
+	p := DefaultGraphParams()
+	if s.Threads > 1 {
+		p.Threads = s.Threads
+	}
+	p.SkipInit = s.SkipInit
+	w := NewGraphWorkload(g, p, Kernel(s.Name))
+	return &graphApp{name: s.Name, w: w, baseCPA: baseCPAFor(s.Name)}, nil
+}
+
+// Info describes a workload for the Table 1 analogue.
+type Info struct {
+	Application string
+	Input       string
+	Nodes       int
+	Edges       uint64
+	Footprint   uint64
+}
+
+// TableInfo builds the Table 1 analogue for the default configuration:
+// per graph kernel, one row per dataset; per synthetic app, one row.
+func TableInfo(scale int) ([]Info, error) {
+	if scale == 0 {
+		scale = DefaultScale
+	}
+	var out []Info
+	for _, name := range GraphAppNames() {
+		for _, d := range []GraphDataset{DatasetKron, DatasetSocial, DatasetWeb} {
+			wl, err := Build(Spec{Name: name, Dataset: d, Scale: scale})
+			if err != nil {
+				return nil, err
+			}
+			g, err := cachedDataset(d, scale, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Info{
+				Application: name,
+				Input:       datasetLabel(d, scale),
+				Nodes:       g.N,
+				Edges:       g.NumEdges(),
+				Footprint:   wl.Footprint(),
+			})
+		}
+	}
+	for _, name := range []string{"canneal", "dedup", "mcf", "omnetpp", "xalancbmk"} {
+		wl, err := Build(Spec{Name: name})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Info{Application: name, Input: "synthetic-native", Footprint: wl.Footprint()})
+	}
+	return out, nil
+}
+
+func datasetLabel(d GraphDataset, scale int) string {
+	switch d {
+	case DatasetKron:
+		return fmt.Sprintf("Kronecker %d", scale)
+	case DatasetSocial:
+		return "Social (Twitter-like)"
+	case DatasetWeb:
+		return "Web (Sd1-like)"
+	}
+	return string(d)
+}
+
+// SortedSpecs expands a graph-app spec into its sorted and unsorted dataset
+// variants (the paper reports the geomean of both).
+func SortedSpecs(s Spec) []Spec {
+	a, b := s, s
+	a.Sorted = false
+	b.Sorted = true
+	return []Spec{a, b}
+}
+
+// DatasetCacheLen reports how many graphs are cached (tests/diagnostics).
+func DatasetCacheLen() int { return len(dsCache) }
+
+var dsCache = map[graphKey]*graph.CSR{}
+
+// cachedDataset memoizes BuildDataset so parameter sweeps reuse graphs.
+func cachedDataset(d GraphDataset, scale int, sorted bool) (*graph.CSR, error) {
+	k := graphKey{d: d, scale: scale, sorted: sorted}
+	if g, ok := dsCache[k]; ok {
+		return g, nil
+	}
+	g, err := BuildDataset(d, scale, sorted)
+	if err != nil {
+		return nil, err
+	}
+	dsCache[k] = g
+	// Bound the cache: keep at most 12 graphs (hot sweeps reuse few).
+	if len(dsCache) > 12 {
+		keys := make([]graphKey, 0, len(dsCache))
+		for kk := range dsCache {
+			keys = append(keys, kk)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+		})
+		for _, kk := range keys {
+			if len(dsCache) <= 12 {
+				break
+			}
+			if kk != k {
+				delete(dsCache, kk)
+			}
+		}
+	}
+	return g, nil
+}
