@@ -12,7 +12,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
+	"pccsim/internal/experiments"
 	"pccsim/internal/mem"
 	"pccsim/internal/ospolicy"
 	"pccsim/internal/physmem"
@@ -40,94 +43,147 @@ func main() {
 		seed       = flag.Int64("seed", 1, "fragmentation seed")
 		traceFile  = flag.String("trace", "", "replay an external trace file instead of a built-in workload (text or PCCTRC1 binary; VMAs inferred from the addresses)")
 		numaPolicy = flag.String("numa", "", "enable 2-node NUMA modeling: bind|interleave|local-first (default: off)")
+		budgetList = flag.String("budgets", "", "comma list of budget %s to sweep (runs on the pool, overrides -budget)")
+		workers    = flag.Int("workers", 0, "parallel simulations for -budgets sweeps (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	var wl workloads.Workload
-	var err error
-	if *traceFile != "" {
-		wl, err = traceWorkload(*traceFile)
-	} else {
-		wl, err = buildWorkload(*app, *dataset, *scale, *sorted, *threads)
+	// benchRun is everything one simulation produces that the reports below
+	// read; simulate builds the whole stack fresh per call so runs are
+	// self-contained pool tasks.
+	type benchRun struct {
+		wl     workloads.Workload
+		policy vmm.Policy
+		m      *vmm.Machine
+		p      *vmm.Process
+		res    vmm.RunResult
 	}
+	simulate := func(budget float64) (benchRun, error) {
+		var wl workloads.Workload
+		var err error
+		if *traceFile != "" {
+			wl, err = traceWorkload(*traceFile)
+		} else {
+			wl, err = buildWorkload(*app, *dataset, *scale, *sorted, *threads)
+		}
+		if err != nil {
+			return benchRun{}, err
+		}
+
+		cfg := vmm.DefaultConfig()
+		cfg.Cores = *threads
+		cfg.Phys = physmem.Config{TotalBytes: uint64(*physGB * float64(1<<30)), MovableFillRatio: 0.5}
+		cfg.FragFrac = *frag
+		cfg.Seed = *seed
+		cfg.PromotionInterval = *interval
+		cfg.PCC2M.Entries = *pccSize
+		if *numaPolicy != "" {
+			cfg.NUMA = vmm.DefaultNUMAConfig()
+			switch *numaPolicy {
+			case "bind":
+				cfg.NUMA.Policy = vmm.NUMABind
+			case "interleave":
+				cfg.NUMA.Policy = vmm.NUMAInterleave
+			case "local-first":
+				cfg.NUMA.Policy = vmm.NUMALocalFirst
+				cfg.NUMA.LocalShare = 0.5
+			default:
+				return benchRun{}, fmt.Errorf("unknown numa policy %q", *numaPolicy)
+			}
+		}
+
+		var policy vmm.Policy
+		var engine *ospolicy.PCCEngine
+		switch *policyName {
+		case "base":
+			policy, cfg.EnablePCC = ospolicy.Baseline{}, false
+		case "ideal":
+			policy, cfg.EnablePCC = ospolicy.AllHuge{}, false
+		case "pcc", "pcc-rr":
+			ec := ospolicy.DefaultPCCEngineConfig()
+			if *policyName == "pcc-rr" {
+				ec.Selection = ospolicy.RoundRobin
+			}
+			ec.EnableDemotion = *demote
+			if *giga {
+				ec.Giga = ospolicy.DefaultGiga1GConfig()
+				ec.Giga.Enable = true
+				cfg.Enable1G = true
+			}
+			engine = ospolicy.NewPCCEngine(ec)
+			policy, cfg.EnablePCC = engine, true
+			if *victim {
+				cfg.UseVictimTracker = true
+			}
+		case "hawkeye":
+			policy, cfg.EnablePCC = ospolicy.NewHawkEye(ospolicy.DefaultHawkEyeConfig()), false
+		case "linux":
+			policy, cfg.EnablePCC = ospolicy.NewLinuxTHP(ospolicy.DefaultLinuxTHPConfig()), false
+		default:
+			return benchRun{}, fmt.Errorf("unknown policy %q", *policyName)
+		}
+
+		m := vmm.NewMachine(cfg, policy)
+		p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
+		if budget > 0 && budget < 100 {
+			p.MaxHugeBytes = uint64(budget / 100 * float64(wl.Footprint()))
+		}
+		cores := make([]int, *threads)
+		for i := range cores {
+			cores[i] = i
+			if engine != nil {
+				engine.Bind(i, p)
+			}
+		}
+
+		st := wl.Stream()
+		defer workloads.CloseStream(st)
+		res := m.Run(&vmm.Job{Proc: p, Stream: st, Cores: cores})
+		return benchRun{wl: wl, policy: policy, m: m, p: p, res: res}, nil
+	}
+
+	if *budgetList != "" {
+		var budgets []float64
+		for _, s := range strings.Split(*budgetList, ",") {
+			b, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pccbench: bad -budgets entry %q: %v\n", s, err)
+				os.Exit(1)
+			}
+			budgets = append(budgets, b)
+		}
+		tasks := make([]experiments.Task[benchRun], len(budgets))
+		for i, b := range budgets {
+			tasks[i] = experiments.Task[benchRun]{
+				Name: fmt.Sprintf("pccbench/%s/%s/b%g", *app, *policyName, b),
+				Run:  func() (benchRun, error) { return simulate(b) },
+			}
+		}
+		runs, err := experiments.RunAll(experiments.NewRunPool(*workers), tasks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s sweep: %s  frag=%.0f%%  threads=%d\n", *app, runs[0].policy.Name(), 100**frag, *threads)
+		fmt.Printf("%8s %12s %9s %9s %8s %8s\n", "budget%", "cycles", "PTW%", "L1miss%", "2MB", "promos")
+		for i, r := range runs {
+			fmt.Printf("%8g %12.4g %9.3f %9.3f %8d %8d\n", budgets[i],
+				r.res.Cycles, 100*r.res.PTWRate, 100*r.res.L1MissRate,
+				r.res.HugePages2M, r.res.Promotions)
+		}
+		return
+	}
+
+	r, err := simulate(*budget)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pccbench:", err)
 		os.Exit(1)
 	}
-
-	cfg := vmm.DefaultConfig()
-	cfg.Cores = *threads
-	cfg.Phys = physmem.Config{TotalBytes: uint64(*physGB * float64(1<<30)), MovableFillRatio: 0.5}
-	cfg.FragFrac = *frag
-	cfg.Seed = *seed
-	cfg.PromotionInterval = *interval
-	cfg.PCC2M.Entries = *pccSize
-	if *numaPolicy != "" {
-		cfg.NUMA = vmm.DefaultNUMAConfig()
-		switch *numaPolicy {
-		case "bind":
-			cfg.NUMA.Policy = vmm.NUMABind
-		case "interleave":
-			cfg.NUMA.Policy = vmm.NUMAInterleave
-		case "local-first":
-			cfg.NUMA.Policy = vmm.NUMALocalFirst
-			cfg.NUMA.LocalShare = 0.5
-		default:
-			fmt.Fprintf(os.Stderr, "pccbench: unknown numa policy %q\n", *numaPolicy)
-			os.Exit(1)
-		}
-	}
-
-	var policy vmm.Policy
-	var engine *ospolicy.PCCEngine
-	switch *policyName {
-	case "base":
-		policy, cfg.EnablePCC = ospolicy.Baseline{}, false
-	case "ideal":
-		policy, cfg.EnablePCC = ospolicy.AllHuge{}, false
-	case "pcc", "pcc-rr":
-		ec := ospolicy.DefaultPCCEngineConfig()
-		if *policyName == "pcc-rr" {
-			ec.Selection = ospolicy.RoundRobin
-		}
-		ec.EnableDemotion = *demote
-		if *giga {
-			ec.Giga = ospolicy.DefaultGiga1GConfig()
-			ec.Giga.Enable = true
-			cfg.Enable1G = true
-		}
-		engine = ospolicy.NewPCCEngine(ec)
-		policy, cfg.EnablePCC = engine, true
-		if *victim {
-			cfg.UseVictimTracker = true
-		}
-	case "hawkeye":
-		policy, cfg.EnablePCC = ospolicy.NewHawkEye(ospolicy.DefaultHawkEyeConfig()), false
-	case "linux":
-		policy, cfg.EnablePCC = ospolicy.NewLinuxTHP(ospolicy.DefaultLinuxTHPConfig()), false
-	default:
-		fmt.Fprintf(os.Stderr, "pccbench: unknown policy %q\n", *policyName)
-		os.Exit(1)
-	}
-
-	m := vmm.NewMachine(cfg, policy)
-	p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
-	if *budget > 0 && *budget < 100 {
-		p.MaxHugeBytes = uint64(*budget / 100 * float64(wl.Footprint()))
-	}
-	cores := make([]int, *threads)
-	for i := range cores {
-		cores[i] = i
-		if engine != nil {
-			engine.Bind(i, p)
-		}
-	}
-
-	res := m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: cores})
+	wl, res, m, p := r.wl, r.res, r.m, r.p
 
 	fmt.Printf("workload       %s (footprint %s)\n", wl.Name(), mem.HumanBytes(wl.Footprint()))
 	fmt.Printf("policy         %s  frag=%.0f%%  budget=%.0f%%  threads=%d\n",
-		policy.Name(), 100**frag, *budget, *threads)
+		r.policy.Name(), 100**frag, *budget, *threads)
 	fmt.Printf("accesses       %d\n", res.Accesses)
 	fmt.Printf("cycles         %.4g\n", res.Cycles)
 	fmt.Printf("PTW rate       %.3f%%\n", 100*res.PTWRate)

@@ -32,6 +32,7 @@ func main() {
 		accesses = flag.Uint64("accesses", 0, "override synthetic app stream length")
 		seed     = flag.Int64("seed", 0, "override fragmentation seed")
 		plots    = flag.String("plots", "", "also write SVG figures into this directory")
+		workers  = flag.Int("workers", 0, "parallel simulations per experiment (0 = GOMAXPROCS); output is identical at any setting")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		o.Seed = *seed
 	}
 	o.PlotDir = *plots
+	o.Workers = *workers
 
 	names := strings.Split(*exp, ",")
 	if *exp == "list" {

@@ -14,13 +14,43 @@ type AblationRow struct {
 	Speedup map[string]float64 // per app
 }
 
+// ablationCfg names one run configuration in an ablation sweep.
+type ablationCfg struct {
+	name string
+	rc   runCfg
+}
+
+// ablationGrid runs every config across the three graph apps through the run
+// pool and assembles one row per config, in config order.
+func (o Options) ablationGrid(configs []ablationCfg) ([]AblationRow, error) {
+	apps := []string{"BFS", "SSSP", "PR"}
+	var cells []cell
+	for _, c := range configs {
+		for _, app := range apps {
+			cells = append(cells, cell{app, c.rc})
+		}
+	}
+	res, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for ci, c := range configs {
+		row := AblationRow{Config: c.name, Speedup: map[string]float64{}}
+		for ai, app := range apps {
+			row.Speedup[app] = res[ci*len(apps)+ai].Speedup
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // AblationReplacement sweeps the PCC replacement policy (LFU+LRU-tiebreak
 // vs pure LRU vs FIFO), the §3.2.1 design choice. The paper reports the
 // policies performing similarly because the PCC is large enough to hold the
 // high-impact HUBs.
 func AblationReplacement(o Options) ([]AblationRow, error) {
 	o.Datasets = []workloads.GraphDataset{workloads.DatasetKron}
-	bcache := newBaselineCache()
 	policies := []struct {
 		name string
 		p    pcc.ReplacementPolicy
@@ -30,22 +60,21 @@ func AblationReplacement(o Options) ([]AblationRow, error) {
 		{"FIFO", pcc.FIFO},
 	}
 	const budget = 8
-	var rows []AblationRow
 	// Sweep both the paper's 128-entry PCC (where the paper reports the
 	// policy barely matters) and a capacity-starved 8-entry PCC (where the
 	// victim choice is exercised on almost every insertion).
+	var configs []ablationCfg
 	for _, entries := range []int{128, 8} {
 		for _, pol := range policies {
-			row := AblationRow{
-				Config:  fmt.Sprintf("%s @%de", pol.name, entries),
-				Speedup: map[string]float64{},
-			}
-			for _, app := range []string{"BFS", "SSSP", "PR"} {
-				r := o.runApp(app, runCfg{kind: polPCC, budgetPct: budget, replace: pol.p, pccEntries: entries}, bcache)
-				row.Speedup[app] = r.Speedup
-			}
-			rows = append(rows, row)
+			configs = append(configs, ablationCfg{
+				name: fmt.Sprintf("%s @%de", pol.name, entries),
+				rc:   runCfg{kind: polPCC, budgetPct: budget, replace: pol.p, pccEntries: entries},
+			})
 		}
+	}
+	rows, err := o.ablationGrid(configs)
+	if err != nil {
+		return nil, err
 	}
 	printAblation(o, "PCC replacement policy (8% budget)", rows)
 	return rows, nil
@@ -56,9 +85,7 @@ func AblationReplacement(o Options) ([]AblationRow, error) {
 // and evict genuine HUBs.
 func AblationColdFilter(o Options) ([]AblationRow, error) {
 	o.Datasets = []workloads.GraphDataset{workloads.DatasetKron}
-	bcache := newBaselineCache()
 	const budget = 8
-	var rows []AblationRow
 	// With LFU+decay the filter is largely redundant (one-shot entries
 	// enter at frequency 0 and are the next victims anyway), so the sweep
 	// includes an LRU-replacement variant where nothing protects hot
@@ -68,6 +95,7 @@ func AblationColdFilter(o Options) ([]AblationRow, error) {
 		entries int
 		repl    pcc.ReplacementPolicy
 	}
+	var configs []ablationCfg
 	for _, v := range []variant{
 		{"LFU @128e", 128, pcc.LFU},
 		{"LFU @8e", 8, pcc.LFU},
@@ -78,19 +106,18 @@ func AblationColdFilter(o Options) ([]AblationRow, error) {
 			if noFilter {
 				name = "filter off"
 			}
-			row := AblationRow{
-				Config:  fmt.Sprintf("%s, %s", name, v.name),
-				Speedup: map[string]float64{},
-			}
-			for _, app := range []string{"BFS", "SSSP", "PR"} {
-				r := o.runApp(app, runCfg{
+			configs = append(configs, ablationCfg{
+				name: fmt.Sprintf("%s, %s", name, v.name),
+				rc: runCfg{
 					kind: polPCC, budgetPct: budget, noFilter: noFilter,
 					pccEntries: v.entries, replace: v.repl,
-				}, bcache)
-				row.Speedup[app] = r.Speedup
-			}
-			rows = append(rows, row)
+				},
+			})
 		}
+	}
+	rows, err := o.ablationGrid(configs)
+	if err != nil {
+		return nil, err
 	}
 	printAblation(o, "cold-miss (accessed-bit) filter (8% budget)", rows)
 	return rows, nil
@@ -101,27 +128,25 @@ func AblationColdFilter(o Options) ([]AblationRow, error) {
 // that ranks candidates.
 func AblationDecay(o Options) ([]AblationRow, error) {
 	o.Datasets = []workloads.GraphDataset{workloads.DatasetKron}
-	bcache := newBaselineCache()
 	const budget = 8
-	var rows []AblationRow
 	// Without decay, stale saturated counters from the init phase keep
 	// out-ranking live HUBs; a small PCC amplifies the effect.
+	var configs []ablationCfg
 	for _, entries := range []int{128, 8} {
 		for _, noDecay := range []bool{false, true} {
 			name := "decay on (paper)"
 			if noDecay {
 				name = "decay off"
 			}
-			row := AblationRow{
-				Config:  fmt.Sprintf("%s @%de", name, entries),
-				Speedup: map[string]float64{},
-			}
-			for _, app := range []string{"BFS", "SSSP", "PR"} {
-				r := o.runApp(app, runCfg{kind: polPCC, budgetPct: budget, noDecay: noDecay, pccEntries: entries}, bcache)
-				row.Speedup[app] = r.Speedup
-			}
-			rows = append(rows, row)
+			configs = append(configs, ablationCfg{
+				name: fmt.Sprintf("%s @%de", name, entries),
+				rc:   runCfg{kind: polPCC, budgetPct: budget, noDecay: noDecay, pccEntries: entries},
+			})
 		}
+	}
+	rows, err := o.ablationGrid(configs)
+	if err != nil {
+		return nil, err
 	}
 	printAblation(o, "frequency counter decay (8% budget)", rows)
 	return rows, nil
@@ -134,15 +159,16 @@ func AblationInterval(o Options, intervals []uint64) ([]AblationRow, error) {
 		intervals = []uint64{o.Interval / 4, o.Interval / 2, o.Interval, o.Interval * 2, o.Interval * 4}
 	}
 	o.Datasets = []workloads.GraphDataset{workloads.DatasetKron}
-	bcache := newBaselineCache()
-	var rows []AblationRow
+	var configs []ablationCfg
 	for _, iv := range intervals {
-		row := AblationRow{Config: utoa(iv) + " accesses", Speedup: map[string]float64{}}
-		for _, app := range []string{"BFS", "SSSP", "PR"} {
-			r := o.runApp(app, runCfg{kind: polPCC, budgetPct: 8, interval: iv}, bcache)
-			row.Speedup[app] = r.Speedup
-		}
-		rows = append(rows, row)
+		configs = append(configs, ablationCfg{
+			name: utoa(iv) + " accesses",
+			rc:   runCfg{kind: polPCC, budgetPct: 8, interval: iv},
+		})
+	}
+	rows, err := o.ablationGrid(configs)
+	if err != nil {
+		return nil, err
 	}
 	printAblation(o, "promotion interval (8% budget)", rows)
 	return rows, nil

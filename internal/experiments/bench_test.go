@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchCells is a small mixed grid (graph + synthetic apps, three policy
+// kinds) representative of what the figure drivers enqueue.
+func benchCells() []cell {
+	var cells []cell
+	for _, app := range []string{"BFS", "canneal", "mcf"} {
+		cells = append(cells,
+			cell{app, runCfg{kind: polBaseline}},
+			cell{app, runCfg{kind: polIdeal}},
+			cell{app, runCfg{kind: polPCC, budgetPct: 25}})
+	}
+	return cells
+}
+
+// BenchmarkRunPool measures the wall clock of one experiment grid at several
+// worker counts. On a multi-core host the higher worker counts approach
+// linear scaling; on a single core they cost the same as workers=1 (the
+// tasks are CPU-bound).
+func BenchmarkRunPool(b *testing.B) {
+	warm, _ := tiny()
+	// Build the graph datasets outside the timed region so every
+	// sub-benchmark starts from a warm cache.
+	if _, err := warm.runCells(benchCells()); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o, _ := tiny()
+				o.Workers = workers
+				if _, err := o.runCells(benchCells()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -28,7 +28,9 @@ func ExtChar(o Options) ([]ExtCharRow, error) {
 			return nil, err
 		}
 		an := trace.NewReuseAnalyzer()
-		an.Drain(wl.Stream())
+		cs := wl.Stream()
+		an.Drain(cs)
+		workloads.CloseStream(cs)
 		sum := trace.Summarize(an.Results())
 		row := ExtCharRow{App: app}
 		tp, ta := float64(sum.TotalPages()), float64(sum.TotalAccesses())

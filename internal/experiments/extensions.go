@@ -105,7 +105,9 @@ func Ext1G(o Options) (*Ext1GResult, error) {
 		if engine != nil {
 			engine.Bind(0, p)
 		}
-		return m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}})
+		st := wl.Stream()
+		defer workloads.CloseStream(st)
+		return m.Run(&vmm.Job{Proc: p, Stream: st, Cores: []int{0}})
 	}
 
 	base := run(false, false, polBaseline)
@@ -159,7 +161,9 @@ func ExtPhases(o Options) (*ExtPhasesResult, error) {
 		m := vmm.NewMachine(cfg, engine)
 		p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
 		engine.Bind(0, p)
-		return m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}})
+		st := wl.Stream()
+		defer workloads.CloseStream(st)
+		return m.Run(&vmm.Job{Proc: p, Stream: st, Cores: []int{0}})
 	}
 	noDem := run(false)
 	withDem := run(true)
@@ -198,7 +202,9 @@ func ExtPWC(o Options) ([]ExtPWCRow, error) {
 		cfg := o.machineConfig(rc)
 		m := vmm.NewMachine(cfg, ospolicy.Baseline{})
 		p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
-		m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}})
+		ws := wl.Stream()
+		m.Run(&vmm.Job{Proc: p, Stream: ws, Cores: []int{0}})
+		workloads.CloseStream(ws)
 		st := m.Core(0).Walker.Stats()
 		hitRate := 0.0
 		if st.PWCLookups > 0 {

@@ -35,7 +35,9 @@ func ExtNUMA(o Options) ([]ExtNUMARow, error) {
 		cfg.NUMA.LocalShare = share
 		m := vmm.NewMachine(cfg, ospolicy.Baseline{})
 		p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
-		res := m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}})
+		st := wl.Stream()
+		defer workloads.CloseStream(st)
+		res := m.Run(&vmm.Job{Proc: p, Stream: st, Cores: []int{0}})
 		return res, m.RemoteShare(p)
 	}
 

@@ -142,7 +142,9 @@ func ExtBloat(o Options) (*ExtBloatResult, error) {
 		if engine != nil {
 			engine.Bind(0, p)
 		}
-		return m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}}), p
+		st := wl.Stream()
+		defer workloads.CloseStream(st)
+		return m.Run(&vmm.Job{Proc: p, Stream: st, Cores: []int{0}}), p
 	}
 
 	base, _ := run(polBaseline)

@@ -23,12 +23,21 @@ type Fig1Row struct {
 // rate and speedup under 100% 4KB pages, 100% 2MB pages, and Linux's greedy
 // THP policy with 50% of memory fragmented.
 func Fig1(o Options) ([]Fig1Row, error) {
+	apps := AppOrder(o)
+	var cells []cell
+	for _, app := range apps {
+		cells = append(cells,
+			cell{app, runCfg{kind: polBaseline}},
+			cell{app, runCfg{kind: polIdeal}},
+			cell{app, runCfg{kind: polLinux, frag: 0.5}})
+	}
+	res, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig1Row
-	bcache := newBaselineCache()
-	for _, app := range AppOrder(o) {
-		base := o.runApp(app, runCfg{kind: polBaseline}, bcache)
-		ideal := o.runApp(app, runCfg{kind: polIdeal}, bcache)
-		linux := o.runApp(app, runCfg{kind: polLinux, frag: 0.5}, bcache)
+	for i, app := range apps {
+		base, ideal, linux := res[3*i], res[3*i+1], res[3*i+2]
 		rows = append(rows, Fig1Row{
 			App:          app,
 			TLBMiss4K:    base.L1Miss,

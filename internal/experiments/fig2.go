@@ -34,6 +34,7 @@ func Fig2(o Options, maxSample int) (*Fig2Result, error) {
 	}
 	an := trace.NewReuseAnalyzer()
 	s := wl.Stream()
+	defer workloads.CloseStream(s)
 	n := an.Drain(s)
 	results := an.Results()
 	sum := trace.Summarize(results)

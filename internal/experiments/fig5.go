@@ -25,21 +25,41 @@ func Fig5(o Options, apps []string) ([]Fig5App, error) {
 	if len(apps) == 0 {
 		apps = appNames()
 	}
-	bcache := newBaselineCache()
-	var out []Fig5App
-
+	// Enumerate the full grid — per app: both policy curves over every
+	// budget, then the three flat references — so the pool sees every
+	// simulation at once; assembly below walks the same order.
+	var cells []cell
 	for _, app := range apps {
-		bundle := Fig5App{App: app}
-		bundle.PCC.Name = "PCC"
-		bundle.HawkEye.Name = "HawkEye"
-
 		for _, kind := range []policyKind{polPCC, polHawkEye} {
 			for _, b := range o.Budgets {
 				rc := runCfg{kind: kind, budgetPct: b}
 				if b == 0 {
 					rc.kind = polBaseline
 				}
-				r := o.runApp(app, rc, bcache)
+				cells = append(cells, cell{app, rc})
+			}
+		}
+		cells = append(cells,
+			cell{app, runCfg{kind: polIdeal}},
+			cell{app, runCfg{kind: polLinux, frag: 0.5}},
+			cell{app, runCfg{kind: polLinux, frag: 0.9}})
+	}
+	res, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Fig5App
+	stride := 2*len(o.Budgets) + 3
+	for ai, app := range apps {
+		bundle := Fig5App{App: app}
+		bundle.PCC.Name = "PCC"
+		bundle.HawkEye.Name = "HawkEye"
+
+		at := ai * stride
+		for ki := range []policyKind{polPCC, polHawkEye} {
+			for bi, b := range o.Budgets {
+				r := res[at+ki*len(o.Budgets)+bi]
 				pt := metrics.CurvePoint{
 					BudgetPct: b,
 					Speedup:   r.Speedup,
@@ -48,18 +68,18 @@ func Fig5(o Options, apps []string) ([]Fig5App, error) {
 					HugePages: int(r.Huge),
 					Cycles:    r.Cycles,
 				}
-				if kind == polPCC {
+				if ki == 0 {
 					bundle.PCC.Points = append(bundle.PCC.Points, pt)
 				} else {
 					bundle.HawkEye.Points = append(bundle.HawkEye.Points, pt)
 				}
 			}
 		}
-		ideal := o.runApp(app, runCfg{kind: polIdeal}, bcache)
+		ideal := res[at+2*len(o.Budgets)]
+		l50 := res[at+2*len(o.Budgets)+1]
+		l90 := res[at+2*len(o.Budgets)+2]
 		bundle.Ideal = metrics.CurvePoint{Speedup: ideal.Speedup, PTWRate: ideal.PTWRate, TLBMiss: ideal.L1Miss}
-		l50 := o.runApp(app, runCfg{kind: polLinux, frag: 0.5}, bcache)
 		bundle.Linux50 = metrics.CurvePoint{Speedup: l50.Speedup, PTWRate: l50.PTWRate, TLBMiss: l50.L1Miss}
-		l90 := o.runApp(app, runCfg{kind: polLinux, frag: 0.9}, bcache)
 		bundle.Linux90 = metrics.CurvePoint{Speedup: l90.Speedup, PTWRate: l90.PTWRate, TLBMiss: l90.L1Miss}
 		out = append(out, bundle)
 

@@ -28,18 +28,29 @@ func Fig6(o Options, sizes []int) ([]Fig6Row, error) {
 	}
 	// The paper restricts this analysis to the Kronecker network.
 	o.Datasets = []workloads.GraphDataset{workloads.DatasetKron}
-	bcache := newBaselineCache()
 	const budget = 32
 
-	var rows []Fig6Row
-	for _, app := range []string{"BFS", "SSSP", "PR"} {
-		row := Fig6Row{App: app, Entries: sizes}
+	apps := []string{"BFS", "SSSP", "PR"}
+	var cells []cell
+	for _, app := range apps {
 		for _, n := range sizes {
-			r := o.runApp(app, runCfg{kind: polPCC, budgetPct: budget, pccEntries: n}, bcache)
-			row.Speedup = append(row.Speedup, r.Speedup)
+			cells = append(cells, cell{app, runCfg{kind: polPCC, budgetPct: budget, pccEntries: n}})
 		}
-		ideal := o.runApp(app, runCfg{kind: polIdeal}, bcache)
-		row.Ideal = ideal.Speedup
+		cells = append(cells, cell{app, runCfg{kind: polIdeal}})
+	}
+	res, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig6Row
+	stride := len(sizes) + 1
+	for ai, app := range apps {
+		row := Fig6Row{App: app, Entries: sizes}
+		for si := range sizes {
+			row.Speedup = append(row.Speedup, res[ai*stride+si].Speedup)
+		}
+		row.Ideal = res[ai*stride+len(sizes)].Speedup
 		rows = append(rows, row)
 	}
 

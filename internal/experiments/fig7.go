@@ -28,14 +28,24 @@ func Fig7(o Options, frag float64) ([]Fig7Row, error) {
 		frag = 0.9
 	}
 	o.Datasets = []workloads.GraphDataset{workloads.DatasetKron}
-	bcache := newBaselineCache()
+
+	apps := []string{"BFS", "SSSP", "PR"}
+	var cells []cell
+	for _, app := range apps {
+		cells = append(cells,
+			cell{app, runCfg{kind: polHawkEye, frag: frag}},
+			cell{app, runCfg{kind: polLinux, frag: frag}},
+			cell{app, runCfg{kind: polPCC, frag: frag}},
+			cell{app, runCfg{kind: polPCC, frag: frag, demote: true}})
+	}
+	res, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 
 	var rows []Fig7Row
-	for _, app := range []string{"BFS", "SSSP", "PR"} {
-		he := o.runApp(app, runCfg{kind: polHawkEye, frag: frag}, bcache)
-		lx := o.runApp(app, runCfg{kind: polLinux, frag: frag}, bcache)
-		pc := o.runApp(app, runCfg{kind: polPCC, frag: frag}, bcache)
-		pd := o.runApp(app, runCfg{kind: polPCC, frag: frag, demote: true}, bcache)
+	for ai, app := range apps {
+		he, lx, pc, pd := res[4*ai], res[4*ai+1], res[4*ai+2], res[4*ai+3]
 		rows = append(rows, Fig7Row{
 			App: app, HawkEye: he.Speedup, LinuxTHP: lx.Speedup,
 			PCC: pc.Speedup, PCCWithDemote: pd.Speedup,

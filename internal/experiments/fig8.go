@@ -27,31 +27,52 @@ func Fig8(o Options, threadCounts []int) ([]Fig8App, error) {
 		threadCounts = []int{2, 4, 8}
 	}
 	o.Datasets = []workloads.GraphDataset{workloads.DatasetKron}
-	var out []Fig8App
+	apps := []string{"BFS", "SSSP", "PR"}
+	sels := []ospolicy.SelectionPolicy{ospolicy.HighestFrequency, ospolicy.RoundRobin}
 
+	// One batch over the whole threads × apps × selection × budget grid;
+	// the cell engine's baseline dedup keys include the thread count, so
+	// same-thread baselines are shared and cross-thread ones stay distinct.
+	var cells []cell
 	for _, threads := range threadCounts {
-		bcache := newBaselineCache()
-		for _, app := range []string{"BFS", "SSSP", "PR"} {
-			bundle := Fig8App{App: app, Threads: threads}
-			bundle.HighestFreq.Name = "highest-freq"
-			bundle.RoundRobin.Name = "round-robin"
-			for _, sel := range []ospolicy.SelectionPolicy{ospolicy.HighestFrequency, ospolicy.RoundRobin} {
+		for _, app := range apps {
+			for _, sel := range sels {
 				for _, b := range o.Budgets {
 					rc := runCfg{kind: polPCC, budgetPct: b, threads: threads, selection: sel}
 					if b == 0 {
 						rc.kind = polBaseline
 					}
-					r := o.runApp(app, rc, bcache)
+					cells = append(cells, cell{app, rc})
+				}
+			}
+			cells = append(cells, cell{app, runCfg{kind: polIdeal, threads: threads}})
+		}
+	}
+	res, err := o.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Fig8App
+	stride := 2*len(o.Budgets) + 1
+	for ti, threads := range threadCounts {
+		for ai, app := range apps {
+			at := (ti*len(apps) + ai) * stride
+			bundle := Fig8App{App: app, Threads: threads}
+			bundle.HighestFreq.Name = "highest-freq"
+			bundle.RoundRobin.Name = "round-robin"
+			for si := range sels {
+				for bi, b := range o.Budgets {
+					r := res[at+si*len(o.Budgets)+bi]
 					pt := metrics.CurvePoint{BudgetPct: b, Speedup: r.Speedup, PTWRate: r.PTWRate}
-					if sel == ospolicy.HighestFrequency {
+					if si == 0 {
 						bundle.HighestFreq.Points = append(bundle.HighestFreq.Points, pt)
 					} else {
 						bundle.RoundRobin.Points = append(bundle.RoundRobin.Points, pt)
 					}
 				}
 			}
-			ideal := o.runApp(app, runCfg{kind: polIdeal, threads: threads}, bcache)
-			bundle.Ideal = ideal.Speedup
+			bundle.Ideal = res[at+2*len(o.Budgets)].Speedup
 			out = append(out, bundle)
 
 			o.printf("Figure 8 — %s with %d threads (speedup vs %d-thread 4KB baseline)\n", app, threads, threads)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"pccsim/internal/metrics"
 	"pccsim/internal/ospolicy"
 	"pccsim/internal/plot"
@@ -72,21 +74,47 @@ func Fig9(o Options, appA, appB string) ([]Fig9Series, error) {
 			engine.Bind(0, pA)
 			engine.Bind(1, pB)
 		}
+		// Both producer goroutines must terminate even if Run aborts.
+		stA := wlA.Stream()
+		defer workloads.CloseStream(stA)
+		stB := wlB.Stream()
+		defer workloads.CloseStream(stB)
 		res := m.Run(
-			&vmm.Job{Proc: pA, Stream: wlA.Stream(), Cores: []int{0}},
-			&vmm.Job{Proc: pB, Stream: wlB.Stream(), Cores: []int{1}},
+			&vmm.Job{Proc: pA, Stream: stA, Cores: []int{0}},
+			&vmm.Job{Proc: pB, Stream: stB, Cores: []int{1}},
 		)
 		return pair{a: res.PerProc[0], b: res.PerProc[1]}, nil
 	}
 
-	base, err := run(polBaseline, ospolicy.HighestFrequency, 0)
+	// Task list: base, ideal, then the selection × budget grid; budget 0
+	// aliases the base run (index 0) instead of re-simulating it.
+	tasks := []Task[pair]{
+		{Name: "fig9/" + appA + "+" + appB + "/base", Run: func() (pair, error) {
+			return run(polBaseline, ospolicy.HighestFrequency, 0)
+		}},
+		{Name: "fig9/" + appA + "+" + appB + "/ideal", Run: func() (pair, error) {
+			return run(polIdeal, ospolicy.HighestFrequency, 0)
+		}},
+	}
+	var gridIdx []int
+	for _, sel := range []ospolicy.SelectionPolicy{ospolicy.HighestFrequency, ospolicy.RoundRobin} {
+		for _, b := range o.Budgets {
+			if b == 0 {
+				gridIdx = append(gridIdx, 0)
+				continue
+			}
+			tasks = append(tasks, Task[pair]{
+				Name: fmt.Sprintf("fig9/%s+%s/pcc/%s/b%g", appA, appB, sel, b),
+				Run:  func() (pair, error) { return run(polPCC, sel, b) },
+			})
+			gridIdx = append(gridIdx, len(tasks)-1)
+		}
+	}
+	res, err := RunAll(o.pool(), tasks)
 	if err != nil {
 		return nil, err
 	}
-	ideal, err := run(polIdeal, ospolicy.HighestFrequency, 0)
-	if err != nil {
-		return nil, err
-	}
+	base, ideal := res[0], res[1]
 
 	mkSeries := func(app string, pol string) *Fig9Series {
 		return &Fig9Series{App: app, Policy: pol}
@@ -100,17 +128,11 @@ func Fig9(o Options, appA, appB string) ([]Fig9Series, error) {
 	sBH.Ideal = metrics.Speedup(base.b.RuntimeCycles, ideal.b.RuntimeCycles)
 	sBR.Ideal = sBH.Ideal
 
+	gi := 0
 	for _, sel := range []ospolicy.SelectionPolicy{ospolicy.HighestFrequency, ospolicy.RoundRobin} {
 		for _, b := range o.Budgets {
-			var p pair
-			if b == 0 {
-				p = base
-			} else {
-				p, err = run(polPCC, sel, b)
-				if err != nil {
-					return nil, err
-				}
-			}
+			p := res[gridIdx[gi]]
+			gi++
 			ptA := Fig9Point{BudgetPct: b, Speedup: metrics.Speedup(base.a.RuntimeCycles, p.a.RuntimeCycles), HugePages: p.a.HugePages2M}
 			ptB := Fig9Point{BudgetPct: b, Speedup: metrics.Speedup(base.b.RuntimeCycles, p.b.RuntimeCycles), HugePages: p.b.HugePages2M}
 			if sel == ospolicy.HighestFrequency {

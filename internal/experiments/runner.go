@@ -51,7 +51,15 @@ type Options struct {
 	// PlotDir, when non-empty, makes figure drivers additionally write
 	// SVG renderings of their curves/bars into this directory.
 	PlotDir string
+	// Workers bounds the run pool's concurrency when grid drivers fan
+	// their simulations out (0 = GOMAXPROCS). Every experiment's output is
+	// byte-identical regardless of this setting; it only changes wall
+	// clock.
+	Workers int
 }
+
+// pool returns the run pool the options select.
+func (o Options) pool() *RunPool { return NewRunPool(o.Workers) }
 
 // savePlot writes an SVG next to the textual report, logging rather than
 // failing the experiment on I/O errors.
@@ -225,7 +233,11 @@ func (o Options) runOne(wl workloads.Workload, rc runCfg) vmm.RunResult {
 			engine.Bind(i, p)
 		}
 	}
-	return m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: cores})
+	// Run drains the stream, but an abort (panic, pool cancellation) must
+	// still terminate the workload's producer goroutine.
+	st := wl.Stream()
+	defer workloads.CloseStream(st)
+	return m.Run(&vmm.Job{Proc: p, Stream: st, Cores: cores})
 }
 
 // variantSpecs expands an app name into the dataset/sorting variants the
@@ -316,6 +328,114 @@ func (o Options) runApp(app string, rc runCfg, baselines baselineCache) appResul
 
 func specKey(s workloads.Spec, threads int) string {
 	return fmt.Sprintf("%s/%s/%v/%d/t%d", s.Name, s.Dataset, s.Sorted, s.Scale, threads)
+}
+
+// cell names one aggregated datum of an experiment grid: application app
+// simulated under rc, averaged across the app's dataset/sorting variants
+// against a paired per-variant 4KB baseline — exactly the aggregation
+// runApp performs, expressed as data so a whole grid can be scheduled at
+// once.
+type cell struct {
+	app string
+	rc  runCfg
+}
+
+// isBaselineRun reports whether rc is indistinguishable from the paired
+// baseline configuration (4KB faults, pristine memory, no budget): such runs
+// alias the baseline simulation instead of being simulated twice.
+func isBaselineRun(rc runCfg) bool {
+	return rc.kind == polBaseline && rc.frag == 0 && rc.budgetPct == 0
+}
+
+// runCells evaluates a grid of cells on the run pool and returns one
+// appResult per cell, in input order. It expands every cell into its
+// per-variant simulations, deduplicates the baseline runs the speedup
+// denominators share (the role the sequential baselineCache played), fans
+// every distinct simulation out as a self-contained pool task, and
+// aggregates once all results are in. Simulations are deterministic given
+// their spec, so the outcome is identical at any worker count.
+func (o Options) runCells(cells []cell) ([]appResult, error) {
+	type sim struct {
+		name string
+		spec workloads.Spec
+		rc   runCfg
+	}
+	type plan struct {
+		variant []int // task index per variant
+		base    []int // paired baseline task index per variant
+	}
+	var sims []sim
+	baseIdx := map[string]int{}
+	plans := make([]plan, len(cells))
+	for ci, c := range cells {
+		rc := c.rc
+		if rc.threads < 1 {
+			rc.threads = 1
+		}
+		for _, s := range o.variantSpecs(c.app) {
+			// The workload must be partitioned across the same number of
+			// threads the machine runs (see runApp).
+			s.Threads = rc.threads
+			key := specKey(s, rc.threads)
+			bi, ok := baseIdx[key]
+			if !ok {
+				brc := rc
+				brc.kind, brc.frag, brc.budgetPct = polBaseline, 0, 0
+				bi = len(sims)
+				baseIdx[key] = bi
+				sims = append(sims, sim{name: key + "/base", spec: s, rc: brc})
+			}
+			vi := bi
+			if !isBaselineRun(rc) {
+				vi = len(sims)
+				sims = append(sims, sim{
+					name: fmt.Sprintf("%s/%v@%g%%", key, rc.kind, rc.budgetPct),
+					spec: s, rc: rc,
+				})
+			}
+			plans[ci].variant = append(plans[ci].variant, vi)
+			plans[ci].base = append(plans[ci].base, bi)
+		}
+	}
+
+	tasks := make([]Task[vmm.RunResult], len(sims))
+	for i, s := range sims {
+		tasks[i] = Task[vmm.RunResult]{
+			Name: s.name,
+			Run: func() (vmm.RunResult, error) {
+				wl, err := workloads.Build(s.spec)
+				if err != nil {
+					return vmm.RunResult{}, err
+				}
+				return o.runOne(wl, s.rc), nil
+			},
+		}
+	}
+	results, err := RunAll(o.pool(), tasks)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]appResult, len(cells))
+	for ci, pl := range plans {
+		var speedups, ptws, l1s, huges, cycles []float64
+		for k := range pl.variant {
+			base, res := results[pl.base[k]], results[pl.variant[k]]
+			speedups = append(speedups, metrics.Speedup(base.Cycles, res.Cycles))
+			ptws = append(ptws, res.PTWRate)
+			l1s = append(l1s, res.L1MissRate)
+			huges = append(huges, float64(res.HugePages2M))
+			cycles = append(cycles, res.Cycles)
+		}
+		out[ci] = appResult{
+			Speedup: metrics.Geomean(speedups),
+			PTWRate: metrics.Mean(ptws),
+			L1Miss:  metrics.Mean(l1s),
+			Huge:    metrics.Mean(huges),
+			Cycles:  metrics.Mean(cycles),
+		}
+	}
+	return out, nil
 }
 
 func (o Options) printf(format string, args ...interface{}) {

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one named, self-contained unit of simulation work producing a T.
+// Self-contained means Run builds everything it touches (machine, workload,
+// streams) from the task's captured parameters: tasks share no mutable
+// state, so the pool may execute them in any order on any goroutine without
+// changing their results.
+type Task[T any] struct {
+	Name string
+	Run  func() (T, error)
+}
+
+// RunPool fans independent simulation tasks out across a bounded set of
+// worker goroutines. Results always come back in input order, so callers
+// observe identical output regardless of the worker count or completion
+// order — the property the experiment determinism tests pin down.
+type RunPool struct {
+	workers int
+}
+
+// NewRunPool returns a pool running at most workers tasks concurrently;
+// workers <= 0 selects GOMAXPROCS.
+func NewRunPool(workers int) *RunPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &RunPool{workers: workers}
+}
+
+// Workers returns the configured concurrency.
+func (p *RunPool) Workers() int { return p.workers }
+
+// taskError ties a failed task's name to its error.
+func taskError(name string, err error) error {
+	return fmt.Errorf("experiments: task %q: %w", name, err)
+}
+
+// RunAll executes every task on the pool and returns the results in input
+// order. On the first task error the pool stops dispatching unstarted tasks,
+// waits for in-flight ones, and returns the error of the lowest-index failed
+// task; which later tasks ran is then unspecified (with one worker, exactly
+// the tasks before the failing one ran). A panicking task's panic propagates
+// to the caller after the other workers drain.
+func RunAll[T any](pool *RunPool, tasks []Task[T]) ([]T, error) {
+	n := len(tasks)
+	if n == 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	workers := pool.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Inline fast path: no goroutines, strict sequential order.
+		for i, t := range tasks {
+			r, err := t.Run()
+			if err != nil {
+				return results, taskError(t.Name, err)
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		errs    = make([]error, n)
+		panicks = make([]any, n)
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || stop.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicks[i] = r
+							stop.Store(true)
+						}
+					}()
+					r, err := tasks[i].Run()
+					if err != nil {
+						errs[i] = err
+						stop.Store(true)
+						return
+					}
+					results[i] = r
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if panicks[i] != nil {
+			panic(panicks[i])
+		}
+		if errs[i] != nil {
+			return results, taskError(tasks[i].Name, errs[i])
+		}
+	}
+	return results, nil
+}

@@ -64,6 +64,15 @@ func DefaultCostModel() CostModel {
 	}
 }
 
+// Rate returns num/den, guarding division by zero — the shared helper for
+// per-access rates (PTW rate, L1 miss rate).
+func Rate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
 // Speedup returns base/new, guarding division by zero.
 func Speedup(baseCycles, newCycles float64) float64 {
 	if newCycles <= 0 {

@@ -175,6 +175,17 @@ func (h *Hierarchy) MissRate() float64 {
 	return float64(h.walks) / float64(h.accesses)
 }
 
+// L1Misses returns the total first-level misses across the three split L1
+// structures — the single source of truth for the L1-miss numerator, so
+// end-of-run aggregation and per-core metrics read the same counters.
+func (h *Hierarchy) L1Misses() uint64 {
+	var n uint64
+	for _, t := range h.l1 {
+		n += t.Stats().Misses
+	}
+	return n
+}
+
 // L1 returns the L1 TLB for a page size (for stats and tests).
 func (h *Hierarchy) L1(size mem.PageSize) *TLB { return h.l1[sizeIndex(size)] }
 

@@ -51,6 +51,7 @@ type TLB struct {
 	name    string
 	sets    int
 	ways    int
+	setMask uint64  // sets-1 when sets is a power of two, else 0
 	entries []entry // sets*ways, set-major
 	tick    uint64
 	stats   Stats
@@ -74,12 +75,16 @@ func New(cfg Config) *TLB {
 	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
 		panic(fmt.Sprintf("tlb: invalid geometry %d entries / %d ways", cfg.Entries, cfg.Ways))
 	}
-	return &TLB{
+	t := &TLB{
 		name:    cfg.Name,
 		sets:    cfg.Entries / cfg.Ways,
 		ways:    cfg.Ways,
 		entries: make([]entry, cfg.Entries),
 	}
+	if t.sets&(t.sets-1) == 0 {
+		t.setMask = uint64(t.sets - 1)
+	}
+	return t
 }
 
 // Name returns the configured display name.
@@ -95,6 +100,11 @@ func (t *TLB) Stats() Stats { return t.stats }
 func (t *TLB) ResetStats() { t.stats = Stats{} }
 
 func (t *TLB) setIndex(vpn mem.PageNum) int {
+	// Every realistic geometry has a power-of-two set count, so the hot
+	// path is a mask; the modulo covers odd test geometries.
+	if t.setMask != 0 || t.sets == 1 {
+		return int(uint64(vpn) & t.setMask)
+	}
 	return int(uint64(vpn) % uint64(t.sets))
 }
 

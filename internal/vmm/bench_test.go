@@ -1,0 +1,106 @@
+package vmm
+
+import (
+	"testing"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/physmem"
+	"pccsim/internal/trace"
+)
+
+// stepPattern builds a deterministic hot/cold access mix over r: a 2MB hot
+// prefix revisited at 4KB stride (L1/L2 hits) interleaved with a sparse sweep
+// of the whole range (capacity misses and walks) — the graph-workload regime
+// the per-access hot path spends its time in.
+func stepPattern(r mem.Range) []trace.Access {
+	var acc []trace.Access
+	hotEnd := r.Start + mem.VirtAddr(2<<20)
+	for rep := 0; rep < 4; rep++ {
+		for a := r.Start; a < hotEnd; a += mem.VirtAddr(mem.Page4K) {
+			acc = append(acc, trace.Access{Addr: a})
+		}
+		for a := r.Start; a < r.End; a += 1 << 16 {
+			acc = append(acc, trace.Access{Addr: a})
+		}
+	}
+	return acc
+}
+
+// stepPattern2M round-robins across all 2MB regions of r with a rotating
+// in-region offset: with more regions than L1-2M entries every access misses
+// L1 and hits L2 — the path that records huge last-use on each access.
+func stepPattern2M(r mem.Range) []trace.Access {
+	regions := uint64(r.Len()) >> 21
+	var acc []trace.Access
+	for rep := uint64(0); rep < 8; rep++ {
+		off := mem.VirtAddr(rep * uint64(mem.Page4K) * 7 % uint64(mem.Page2M))
+		for i := uint64(0); i < regions; i++ {
+			acc = append(acc, trace.Access{Addr: r.Start + mem.VirtAddr(i<<21) + off})
+		}
+	}
+	return acc
+}
+
+// benchmarkStep measures steady-state per-access simulation cost through
+// Machine.Run (vmaOf, mapping-state lookup, TLB hierarchy, walker, PCC).
+// With promote set every 2MB region is huge-mapped first, exercising the
+// 2MB-path bookkeeping (huge last-use tracking) on every L2 hit and walk.
+func benchmarkStep(b *testing.B, promote bool) {
+	cfg := DefaultConfig()
+	cfg.Phys = physmem.Config{TotalBytes: 512 << 21, MovableFillRatio: 0.5}
+	m := NewMachine(cfg, nil)
+	p := m.AddProcess("bench", testVMA(64), 0)
+	r := p.Ranges()[0]
+	acc := stepPattern(r)
+	if promote {
+		acc = stepPattern2M(r)
+	}
+	// Warm once so the timed loop measures translation, not first-touch
+	// faults.
+	m.Run(&Job{Proc: p, Stream: trace.Slice(acc)})
+	if promote {
+		for a := r.Start; a < r.End; a += mem.VirtAddr(mem.Page2M) {
+			if err := m.Promote2M(p, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += len(acc) {
+		m.Run(&Job{Proc: p, Stream: trace.Slice(acc)})
+	}
+}
+
+// BenchmarkStep is the 4KB-mapped hot path: ns/op is ns per simulated access.
+func BenchmarkStep(b *testing.B) { benchmarkStep(b, false) }
+
+// BenchmarkStep2M is the same pattern with every region promoted to 2MB.
+func BenchmarkStep2M(b *testing.B) { benchmarkStep(b, true) }
+
+// BenchmarkVmaOf measures the VMA lookup alone on a 24-VMA address space with
+// run-based locality (the pattern real streams exhibit: long runs inside one
+// VMA, occasional jumps).
+func BenchmarkVmaOf(b *testing.B) {
+	var ranges []mem.Range
+	start := mem.VirtAddr(1 << 30)
+	for i := 0; i < 24; i++ {
+		ranges = append(ranges, mem.Range{Start: start, End: start + 4<<20})
+		start += 8 << 20
+	}
+	p := newProcess(0, "bench", ranges, 0)
+	var addrs []mem.VirtAddr
+	for i, r := range ranges {
+		for a := r.Start; a < r.Start+64<<12; a += mem.VirtAddr(mem.Page4K) {
+			addrs = append(addrs, a)
+		}
+		// One cross-VMA jump per run.
+		addrs = append(addrs, ranges[(i+13)%len(ranges)].Start)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.vmaOf(addrs[i%len(addrs)]) == nil {
+			b.Fatal("address outside VMAs")
+		}
+	}
+}

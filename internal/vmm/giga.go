@@ -48,7 +48,7 @@ func (m *Machine) Promote1G(p *Process, addr mem.VirtAddr) error {
 	for base := range p.huge2M {
 		if r.Contains(base) {
 			delete(p.huge2M, base)
-			delete(p.hugeLastUse, base)
+			p.clearHugeLastUse(base)
 			p.hugeBytes -= uint64(mem.Page2M)
 			m.phys.FreeHuge()
 		}

@@ -278,7 +278,7 @@ func (m *Machine) Demote2M(p *Process, addr mem.VirtAddr) error {
 	}
 	v.setRange(base, r.End(), state4K)
 	delete(p.huge2M, base)
-	delete(p.hugeLastUse, base)
+	p.clearHugeLastUse(base)
 	p.hugeBytes -= uint64(mem.Page2M)
 	p.Demotions++
 	m.phys.FreeHuge()
@@ -303,7 +303,7 @@ func (m *Machine) Huge2MBases(p *Process) map[mem.VirtAddr]uint64 {
 // the translation forces a genuinely hot region to miss — and so refresh
 // this timestamp — before the next sample.
 func (m *Machine) HugeLastUse(p *Process, base mem.VirtAddr) uint64 {
-	return p.hugeLastUse[mem.PageBase(base, mem.Page2M)]
+	return p.hugeLastUseAt(base)
 }
 
 // InvalidateTranslations flushes the cached translations for the 2MB region
@@ -335,8 +335,10 @@ func (m *Machine) ColdHuge2M(p *Process, age uint64) []mem.VirtAddr {
 		if now-promotedAt < age {
 			continue // too recent to judge
 		}
-		last, ok := p.hugeLastUse[base]
-		if !ok {
+		last := p.hugeLastUseAt(base)
+		if last == 0 {
+			// Never missed the L1 since promotion; age from the
+			// promotion instant.
 			last = promotedAt
 		}
 		if now-last < age {

@@ -27,11 +27,28 @@ type vma struct {
 	// independent of mapping granularity — the basis of the memory-bloat
 	// metric (huge-backed bytes never touched, §2.1's THP bloat problem).
 	touched []bool
+	// lastUse2M records, per 2MB region of the VMA, the last simulated
+	// time a 2MB mapping there missed the L1 TLB — the OS-visible liveness
+	// signal demotion relies on (regions resident in the L1 2MB TLB are
+	// certainly hot; regions that stop missing entirely went cold). Slot 0
+	// covers the region at base2M; 0 means "never since promotion"
+	// (genuine timestamps are >= 1: the access counter pre-increments).
+	lastUse2M []uint64
+	// base2M is r.Start rounded down to a 2MB boundary: the address slot 0
+	// of lastUse2M corresponds to.
+	base2M mem.VirtAddr
 }
 
 func (v *vma) stateOf(a mem.VirtAddr) pageState {
 	return v.state[uint64(a-v.r.Start)>>12]
 }
+
+// slot2M maps an address inside the VMA to its lastUse2M index.
+func (v *vma) slot2M(a mem.VirtAddr) uint64 { return uint64(a-v.base2M) >> 21 }
+
+// noteUse2M timestamps the 2MB region containing a (hot path: one shift and
+// an indexed store, no hashing).
+func (v *vma) noteUse2M(a mem.VirtAddr, now uint64) { v.lastUse2M[v.slot2M(a)] = now }
 
 func (v *vma) setRange(start, end mem.VirtAddr, s pageState) {
 	if start < v.r.Start {
@@ -56,6 +73,10 @@ type Process struct {
 
 	vmas      []*vma
 	footprint uint64 // bytes across VMAs
+	// lastVMA caches the most recent vmaOf hit: access streams run inside
+	// one VMA for long stretches, so this turns the per-access lookup into
+	// a single range check.
+	lastVMA *vma
 
 	// BaseCPA is the workload's base cycles-per-access (cost model input).
 	BaseCPA float64
@@ -70,13 +91,9 @@ type Process struct {
 
 	hugeBytes uint64
 	// huge2M records currently-2MB-mapped region bases, with the tick at
-	// which each was promoted (for demotion ordering).
+	// which each was promoted (for demotion ordering). Per-region last-use
+	// timestamps live in each vma's lastUse2M slots.
 	huge2M map[mem.VirtAddr]uint64
-	// hugeLastUse records the last simulated time each 2MB mapping missed
-	// the L1 TLB — the OS-visible liveness signal demotion relies on
-	// (regions resident in the L1 2MB TLB are certainly hot; regions that
-	// stop missing entirely went cold).
-	hugeLastUse map[mem.VirtAddr]uint64
 	// huge1G records 1GB-mapped region bases.
 	huge1G map[mem.VirtAddr]uint64
 
@@ -96,22 +113,24 @@ type Process struct {
 // newProcess builds an empty address space over the given VMAs.
 func newProcess(id int, name string, ranges []mem.Range, baseCPA float64) *Process {
 	p := &Process{
-		ID:          id,
-		Name:        name,
-		Table:       ptw.NewTable(),
-		BaseCPA:     baseCPA,
-		huge2M:      map[mem.VirtAddr]uint64{},
-		hugeLastUse: map[mem.VirtAddr]uint64{},
-		huge1G:      map[mem.VirtAddr]uint64{},
+		ID:      id,
+		Name:    name,
+		Table:   ptw.NewTable(),
+		BaseCPA: baseCPA,
+		huge2M:  map[mem.VirtAddr]uint64{},
+		huge1G:  map[mem.VirtAddr]uint64{},
 	}
 	for _, r := range ranges {
 		if !mem.Aligned(r.Start, mem.Page4K) || !mem.Aligned(r.End, mem.Page4K) {
 			panic(fmt.Sprintf("vmm: VMA %v not page aligned", r))
 		}
+		base2M := mem.PageBase(r.Start, mem.Page2M)
 		p.vmas = append(p.vmas, &vma{
-			r:       r,
-			state:   make([]pageState, r.Len()>>12),
-			touched: make([]bool, r.Len()>>12),
+			r:         r,
+			state:     make([]pageState, r.Len()>>12),
+			touched:   make([]bool, r.Len()>>12),
+			lastUse2M: make([]uint64, (uint64(r.End-base2M)+uint64(mem.Page2M)-1)>>21),
+			base2M:    base2M,
 		})
 		p.footprint += r.Len()
 	}
@@ -137,14 +156,39 @@ func (p *Process) Ranges() []mem.Range {
 	return rs
 }
 
-// vmaOf finds the VMA containing a (nil if outside every VMA).
+// vmaOf finds the VMA containing a (nil if outside every VMA). The last hit
+// is cached: streams exhibit long same-VMA runs, so the common case is one
+// range check instead of a linear scan.
 func (p *Process) vmaOf(a mem.VirtAddr) *vma {
+	if v := p.lastVMA; v != nil && v.r.Contains(a) {
+		return v
+	}
 	for _, v := range p.vmas {
 		if v.r.Contains(a) {
+			p.lastVMA = v
 			return v
 		}
 	}
 	return nil
+}
+
+// hugeLastUseAt returns the last-use timestamp of the 2MB region containing
+// base (0 if never recorded or outside every VMA).
+func (p *Process) hugeLastUseAt(base mem.VirtAddr) uint64 {
+	base = mem.PageBase(base, mem.Page2M)
+	if v := p.vmaOf(base); v != nil {
+		return v.lastUse2M[v.slot2M(base)]
+	}
+	return 0
+}
+
+// clearHugeLastUse resets the region's timestamp to "never" (demotion and
+// 1GB absorption drop the old 2MB mapping's history).
+func (p *Process) clearHugeLastUse(base mem.VirtAddr) {
+	base = mem.PageBase(base, mem.Page2M)
+	if v := p.vmaOf(base); v != nil {
+		v.lastUse2M[v.slot2M(base)] = 0
+	}
 }
 
 // StateOf reports the mapping state of the 4KB page containing a.

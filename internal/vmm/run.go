@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/metrics"
 	"pccsim/internal/tlb"
 	"pccsim/internal/trace"
 )
@@ -122,15 +123,10 @@ func (m *Machine) Run(jobs ...*Job) RunResult {
 		}
 		res.StallCycles += c.StallCycles
 		res.Walks += c.TLB.Walks()
-		l1 := c.TLB.L1(mem.Page4K).Stats().Misses +
-			c.TLB.L1(mem.Page2M).Stats().Misses +
-			c.TLB.L1(mem.Page1G).Stats().Misses
-		res.L1Misses += l1
+		res.L1Misses += c.TLB.L1Misses()
 	}
-	if res.Accesses > 0 {
-		res.PTWRate = float64(res.Walks) / float64(res.Accesses)
-		res.L1MissRate = float64(res.L1Misses) / float64(res.Accesses)
-	}
+	res.PTWRate = metrics.Rate(res.Walks, res.Accesses)
+	res.L1MissRate = metrics.Rate(res.L1Misses, res.Accesses)
 	for ji, j := range live {
 		p := j.Proc
 		res.HugePages2M += p.HugePages2M()
@@ -203,14 +199,14 @@ func (m *Machine) step(c *Core, p *Process, addr mem.VirtAddr) {
 	case tlb.HitL2:
 		cost += m.cfg.Cost.L2TLBHit
 		if size == mem.Page2M {
-			p.hugeLastUse[mem.PageBase(addr, mem.Page2M)] = m.accessCount
+			v.noteUse2M(addr, m.accessCount)
 		}
 	default: // tlb.Miss → page table walk
 		info := c.Walker.Walk(p.Table, addr)
 		cost += m.cfg.Cost.WalkBase + float64(info.Levels)*m.cfg.Cost.WalkRef
 		c.TLB.Fill(addr, size)
 		if size == mem.Page2M {
-			p.hugeLastUse[mem.PageBase(addr, mem.Page2M)] = m.accessCount
+			v.noteUse2M(addr, m.accessCount)
 		}
 
 		// PCC insertion path (Fig. 3): gated by the pre-walk accessed

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pccsim/internal/graph"
 	"pccsim/internal/mem"
@@ -240,38 +241,71 @@ func SortedSpecs(s Spec) []Spec {
 }
 
 // DatasetCacheLen reports how many graphs are cached (tests/diagnostics).
-func DatasetCacheLen() int { return len(dsCache) }
+func DatasetCacheLen() int {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	return len(dsCache)
+}
 
-var dsCache = map[graphKey]*graph.CSR{}
+// The dataset cache is shared by every concurrently-running simulation task
+// (graphs are immutable once built, so sharing the *CSR values is safe).
+// dsInflight deduplicates concurrent builds of the same graph: the first
+// caller builds while the rest wait on its channel, so a parallel sweep
+// builds each dataset exactly once instead of workers-many times.
+var (
+	dsMu       sync.Mutex
+	dsCache    = map[graphKey]*graph.CSR{}
+	dsInflight = map[graphKey]chan struct{}{}
+)
 
 // cachedDataset memoizes BuildDataset so parameter sweeps reuse graphs.
 func cachedDataset(d GraphDataset, scale int, sorted bool) (*graph.CSR, error) {
 	k := graphKey{d: d, scale: scale, sorted: sorted}
-	if g, ok := dsCache[k]; ok {
+	for {
+		dsMu.Lock()
+		if g, ok := dsCache[k]; ok {
+			dsMu.Unlock()
+			return g, nil
+		}
+		if done, ok := dsInflight[k]; ok {
+			dsMu.Unlock()
+			<-done
+			// The builder finished (or failed); re-check the cache.
+			continue
+		}
+		done := make(chan struct{})
+		dsInflight[k] = done
+		dsMu.Unlock()
+
+		g, err := BuildDataset(d, scale, sorted)
+
+		dsMu.Lock()
+		delete(dsInflight, k)
+		close(done)
+		if err != nil {
+			dsMu.Unlock()
+			return nil, err
+		}
+		dsCache[k] = g
+		// Bound the cache: keep at most 12 graphs (hot sweeps reuse few).
+		if len(dsCache) > 12 {
+			keys := make([]graphKey, 0, len(dsCache))
+			for kk := range dsCache {
+				keys = append(keys, kk)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+			})
+			for _, kk := range keys {
+				if len(dsCache) <= 12 {
+					break
+				}
+				if kk != k {
+					delete(dsCache, kk)
+				}
+			}
+		}
+		dsMu.Unlock()
 		return g, nil
 	}
-	g, err := BuildDataset(d, scale, sorted)
-	if err != nil {
-		return nil, err
-	}
-	dsCache[k] = g
-	// Bound the cache: keep at most 12 graphs (hot sweeps reuse few).
-	if len(dsCache) > 12 {
-		keys := make([]graphKey, 0, len(dsCache))
-		for kk := range dsCache {
-			keys = append(keys, kk)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
-		})
-		for _, kk := range keys {
-			if len(dsCache) <= 12 {
-				break
-			}
-			if kk != k {
-				delete(dsCache, kk)
-			}
-		}
-	}
-	return g, nil
 }
