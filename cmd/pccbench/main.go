@@ -17,6 +17,7 @@ import (
 
 	"pccsim/internal/experiments"
 	"pccsim/internal/mem"
+	"pccsim/internal/obs"
 	"pccsim/internal/ospolicy"
 	"pccsim/internal/physmem"
 	"pccsim/internal/trace"
@@ -45,8 +46,21 @@ func main() {
 		numaPolicy = flag.String("numa", "", "enable 2-node NUMA modeling: bind|interleave|local-first (default: off)")
 		budgetList = flag.String("budgets", "", "comma list of budget %s to sweep (runs on the pool, overrides -budget)")
 		workers    = flag.Int("workers", 0, "parallel simulations for -budgets sweeps (0 = GOMAXPROCS)")
+		audit      = flag.Bool("audit", false, "verify machine invariants every policy tick and print the metrics snapshot")
+		eventsFile = flag.String("events", "", "write the simulation event trace to this file")
+		pprofAddr  = flag.String("pprof", "", "serve Go pprof endpoints on this address while running")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, stop, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccbench: -pprof:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("(pprof listening on http://%s/debug/pprof/)\n", addr)
+	}
 
 	// benchRun is everything one simulation produces that the reports below
 	// read; simulate builds the whole stack fresh per call so runs are
@@ -77,6 +91,10 @@ func main() {
 		cfg.Seed = *seed
 		cfg.PromotionInterval = *interval
 		cfg.PCC2M.Entries = *pccSize
+		cfg.AuditEveryTick = *audit
+		if *eventsFile != "" || *audit {
+			cfg.EventLogSize = -1
+		}
 		if *numaPolicy != "" {
 			cfg.NUMA = vmm.DefaultNUMAConfig()
 			switch *numaPolicy {
@@ -142,6 +160,41 @@ func main() {
 		return benchRun{wl: wl, policy: policy, m: m, p: p, res: res}, nil
 	}
 
+	// emitObs writes the event trace and, under -audit, the merged metrics
+	// snapshot for the finished runs (a run that reaches here passed every
+	// per-tick and end-of-run invariant check).
+	emitObs := func(runs []benchRun, names []string) {
+		if *eventsFile == "" && !*audit {
+			return
+		}
+		sink := obs.NewSink(64 * obs.DefaultEventLogSize)
+		reg := obs.NewRegistry()
+		for i, r := range runs {
+			sink.Drain(names[i], r.m.Events())
+			reg.Merge(r.m.Metrics())
+		}
+		if *eventsFile != "" {
+			f, err := os.Create(*eventsFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pccbench: -events:", err)
+				os.Exit(1)
+			}
+			werr := sink.WriteText(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "pccbench: -events:", werr)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %d events to %s)\n", sink.Total(), *eventsFile)
+		}
+		if *audit {
+			fmt.Printf("audit: 0 invariant violations (checked every policy tick and end of run)\n")
+			fmt.Printf("metrics snapshot:\n%s", reg.Snapshot().Table())
+		}
+	}
+
 	if *budgetList != "" {
 		var budgets []float64
 		for _, s := range strings.Split(*budgetList, ",") {
@@ -171,6 +224,11 @@ func main() {
 				r.res.Cycles, 100*r.res.PTWRate, 100*r.res.L1MissRate,
 				r.res.HugePages2M, r.res.Promotions)
 		}
+		names := make([]string, len(tasks))
+		for i, t := range tasks {
+			names[i] = t.Name
+		}
+		emitObs(runs, names)
 		return
 	}
 
@@ -194,6 +252,7 @@ func main() {
 	fmt.Printf("phys           %v\n", m.Phys())
 	fmt.Printf("bloat          %s (touched %s)\n",
 		mem.HumanBytes(p.BloatBytes()), mem.HumanBytes(p.TouchedBytes()))
+	emitObs([]benchRun{r}, []string{wl.Name()})
 }
 
 // cpaWorkload attaches a base cycles-per-access to a SynthApp.

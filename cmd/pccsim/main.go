@@ -8,40 +8,62 @@
 //	pccsim -exp all -quick           # everything, CI-sized
 //
 // The -quick flag shrinks workloads to seconds-per-experiment; -full runs
-// the three-dataset geomean configuration the paper uses.
+// the three-dataset geomean configuration the paper uses. Observability
+// flags: -audit arms the per-tick invariant auditor and prints the merged
+// metrics snapshot, -events writes the simulation event trace to a file,
+// -pprof serves the Go profiling endpoints while experiments run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"pccsim/internal/experiments"
+	"pccsim/internal/obs"
 	"pccsim/internal/workloads"
 )
 
 func main() {
-	var (
-		exp      = flag.String("exp", "list", "experiment id, comma list, or 'all'")
-		quick    = flag.Bool("quick", false, "CI-sized workloads (seconds per experiment)")
-		full     = flag.Bool("full", false, "all three graph datasets (paper's 6-dataset geomean)")
-		scale    = flag.Int("scale", 0, "override graph scale (2^scale vertices)")
-		interval = flag.Uint64("interval", 0, "override promotion interval (accesses)")
-		accesses = flag.Uint64("accesses", 0, "override synthetic app stream length")
-		seed     = flag.Int64("seed", 0, "override fragmentation seed")
-		plots    = flag.String("plots", "", "also write SVG figures into this directory")
-		workers  = flag.Int("workers", 0, "parallel simulations per experiment (0 = GOMAXPROCS); output is identical at any setting")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	o := experiments.DefaultOptions(os.Stdout)
+// run is main with its dependencies injected, so CLI behaviour (flag
+// validation, exit codes, output) is unit-testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pccsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp       = fs.String("exp", "list", "experiment id, comma list, or 'all'")
+		quick     = fs.Bool("quick", false, "CI-sized workloads (seconds per experiment)")
+		full      = fs.Bool("full", false, "all three graph datasets (paper's 6-dataset geomean)")
+		scale     = fs.Int("scale", 0, "override graph scale (2^scale vertices)")
+		interval  = fs.Uint64("interval", 0, "override promotion interval (accesses)")
+		accesses  = fs.Uint64("accesses", 0, "override synthetic app stream length")
+		seed      = fs.Int64("seed", 0, "override fragmentation seed")
+		plots     = fs.String("plots", "", "also write SVG figures into this directory")
+		workers   = fs.Int("workers", 0, "parallel simulations per experiment (0 = GOMAXPROCS); output is identical at any setting")
+		audit     = fs.Bool("audit", false, "verify machine invariants every policy tick and print the merged metrics snapshot")
+		events    = fs.String("events", "", "write the simulation event trace (promotions, PCC dumps, compactions, shootdowns) to this file")
+		pprofAddr = fs.String("pprof", "", "serve Go pprof endpoints on this address (e.g. localhost:6060) while running")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "pccsim: -workers must be >= 0, got %d\n", *workers)
+		return 2
+	}
+
+	o := experiments.DefaultOptions(stdout)
 	if *quick {
-		o = experiments.QuickOptions(os.Stdout)
+		o = experiments.QuickOptions(stdout)
 	}
 	if *full {
-		o = experiments.FullOptions(os.Stdout)
+		o = experiments.FullOptions(stdout)
 	}
 	if *scale > 0 {
 		o.Scale = *scale
@@ -58,28 +80,86 @@ func main() {
 	o.PlotDir = *plots
 	o.Workers = *workers
 
-	names := strings.Split(*exp, ",")
 	if *exp == "list" {
-		fmt.Println("available experiments:")
+		fmt.Fprintln(stdout, "available experiments:")
 		for _, n := range experiments.Names() {
-			fmt.Println("  ", n)
+			fmt.Fprintln(stdout, "  ", n)
 		}
-		fmt.Println("\nworkloads:", strings.Join(workloads.AppNames(), ", "))
-		return
+		fmt.Fprintln(stdout, "\nworkloads:", strings.Join(workloads.AppNames(), ", "))
+		return 0
 	}
+
+	names := strings.Split(*exp, ",")
 	if *exp == "all" {
 		names = experiments.Names()
 	}
+	// Validate every requested experiment before running any: a typo at the
+	// end of a comma list must not waste the minutes the earlier entries
+	// take.
+	var selected []string
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
+		if _, ok := experiments.Registry[name]; !ok {
+			fmt.Fprintf(stderr, "pccsim: unknown experiment %q; available:\n", name)
+			for _, n := range experiments.Names() {
+				fmt.Fprintln(stderr, "  ", n)
+			}
+			return 2
+		}
+		selected = append(selected, name)
+	}
+
+	if *pprofAddr != "" {
+		addr, stop, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "pccsim: -pprof: %v\n", err)
+			return 1
+		}
+		defer stop()
+		fmt.Fprintf(stdout, "(pprof listening on http://%s/debug/pprof/)\n", addr)
+	}
+
+	// -audit implies full observability: metrics registry and event sink,
+	// so a clean run also proves the instrumentation produces data.
+	var sink *obs.Sink
+	if *audit || *events != "" {
+		o.Obs = obs.NewRegistry()
+		sink = obs.NewSink(64 * obs.DefaultEventLogSize)
+		o.EventSink = sink
+		o.Audit = *audit
+	}
+
+	for _, name := range selected {
 		start := time.Now()
 		if err := experiments.Run(name, o); err != nil {
-			fmt.Fprintf(os.Stderr, "pccsim: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "pccsim: %s: %v\n", name, err)
+			return 1
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(stderr, "pccsim: -events: %v\n", err)
+			return 1
+		}
+		werr := sink.WriteText(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "pccsim: -events: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "(wrote %d events to %s)\n", sink.Total(), *events)
+	}
+	if *audit {
+		fmt.Fprintf(stdout, "audit: 0 invariant violations (checked every policy tick and end of run)\n")
+		fmt.Fprintf(stdout, "metrics snapshot (%d events traced):\n%s\n", sink.Total(), o.Obs.Snapshot().JSON())
+	}
+	return 0
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentExitsNonZeroListingChoices(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-exp", "fig5,nope"}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("unknown experiment must exit non-zero")
+	}
+	if !strings.Contains(errOut.String(), `unknown experiment "nope"`) {
+		t.Errorf("stderr must name the bad experiment:\n%s", errOut.String())
+	}
+	for _, want := range []string{"fig1", "fig5", "summary"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("stderr must list available experiments (missing %q)", want)
+		}
+	}
+	if out.Len() != 0 {
+		t.Errorf("no experiment may run before validation:\n%s", out.String())
+	}
+}
+
+func TestNegativeWorkersRejectedAtParse(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-exp", "fig5", "-quick", "-workers", "-1"}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("-workers -1 must exit non-zero")
+	}
+	if !strings.Contains(errOut.String(), "-workers must be >= 0") {
+		t.Errorf("stderr must explain the -workers constraint:\n%s", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("no experiment may run with invalid -workers:\n%s", out.String())
+	}
+}
+
+func TestUndefinedFlagExitsNonZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code == 0 {
+		t.Fatal("undefined flag must exit non-zero")
+	}
+}
+
+func TestListIsTheDefaultAndSucceeds(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("bare invocation must list and exit 0, got %d (stderr: %s)", code, errOut.String())
+	}
+	for _, want := range []string{"available experiments:", "fig5", "workloads:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}

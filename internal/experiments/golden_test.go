@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// TestGolden pins the -quick stdout of the headline figures byte-for-byte.
+// Each figure runs at two worker counts and must produce identical output —
+// the determinism contract the run pool documents — before being compared
+// against testdata/<fig>_quick.golden. Regenerate after an intentional
+// output change with:
+//
+//	go test ./internal/experiments -run Golden -update
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden figures take seconds each; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("byte-identical output comparison adds no race coverage over the grid tests; skipped under -race to stay within the package test timeout")
+	}
+	for _, name := range []string{"fig1", "fig5", "fig6", "fig7"} {
+		t.Run(name, func(t *testing.T) {
+			byWorkers := map[int][]byte{}
+			for _, w := range []int{1, 8} {
+				var buf bytes.Buffer
+				o := QuickOptions(&buf)
+				o.Workers = w
+				if err := Run(name, o); err != nil {
+					t.Fatalf("%s at %d workers: %v", name, w, err)
+				}
+				byWorkers[w] = buf.Bytes()
+			}
+			if !bytes.Equal(byWorkers[1], byWorkers[8]) {
+				t.Fatalf("%s output differs between 1 and 8 workers", name)
+			}
+			got := byWorkers[1]
+			if len(got) == 0 {
+				t.Fatalf("%s produced no output", name)
+			}
+
+			golden := filepath.Join("testdata", name+"_quick.golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s -quick output drifted from %s.\ngot:\n%s\nwant:\n%s",
+					name, golden, got, want)
+			}
+		})
+	}
+}

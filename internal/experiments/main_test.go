@@ -1,0 +1,16 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"pccsim/internal/vmm"
+)
+
+// TestMain arms the machine invariant auditor for every experiment test, so
+// the full quick grids double as end-to-end consistency checks of every
+// policy/fragmentation/budget combination they simulate.
+func TestMain(m *testing.M) {
+	vmm.TestForceAudit = true
+	os.Exit(m.Run())
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; output
+// snapshot tests use it to skip (they re-run grids the other tests already
+// race-cover, and would push the package past the test timeout).
+const raceEnabled = true

@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"pccsim/internal/metrics"
+	"pccsim/internal/obs"
 	"pccsim/internal/ospolicy"
 	"pccsim/internal/pcc"
 	"pccsim/internal/physmem"
@@ -56,10 +57,22 @@ type Options struct {
 	// byte-identical regardless of this setting; it only changes wall
 	// clock.
 	Workers int
+	// Audit arms the invariant auditor on every simulated machine: cross
+	// consistency of TLBs, page tables, PCC contents, physical-memory
+	// accounting, and policy ledgers is checked after every policy tick
+	// and at end of run, panicking on the first violation.
+	Audit bool
+	// Obs, when non-nil, accumulates every machine's end-of-run metrics
+	// snapshot (plus run-pool progress gauges). Counters merge by
+	// addition, so the totals are byte-identical at any worker count.
+	Obs *obs.Registry
+	// EventSink, when non-nil, enables per-machine event tracing and
+	// drains each run's trace into the sink, tagged with the run name.
+	EventSink *obs.Sink
 }
 
 // pool returns the run pool the options select.
-func (o Options) pool() *RunPool { return NewRunPool(o.Workers) }
+func (o Options) pool() *RunPool { return &RunPool{workers: poolWorkers(o.Workers), Obs: o.Obs} }
 
 // savePlot writes an SVG next to the textual report, logging rather than
 // failing the experiment on I/O errors.
@@ -192,6 +205,10 @@ func (o Options) machineConfig(rc runCfg) vmm.Config {
 	}
 	cfg.PCC2M.DisableDecay = rc.noDecay
 	cfg.PCC2M.Replacement = rc.replace
+	cfg.AuditEveryTick = o.Audit
+	if o.EventSink != nil {
+		cfg.EventLogSize = -1 // default ring bound
+	}
 	return cfg
 }
 
@@ -237,7 +254,22 @@ func (o Options) runOne(wl workloads.Workload, rc runCfg) vmm.RunResult {
 	// still terminate the workload's producer goroutine.
 	st := wl.Stream()
 	defer workloads.CloseStream(st)
-	return m.Run(&vmm.Job{Proc: p, Stream: st, Cores: cores})
+	res := m.Run(&vmm.Job{Proc: p, Stream: st, Cores: cores})
+	o.observe(m, wl, rc)
+	return res
+}
+
+// observe publishes one finished machine's metrics and event trace into the
+// options' observability hooks. Both sinks are concurrency-safe, so pool
+// workers may call this from any goroutine.
+func (o Options) observe(m *vmm.Machine, wl workloads.Workload, rc runCfg) {
+	if o.Obs != nil {
+		o.Obs.Merge(m.Metrics())
+	}
+	if o.EventSink != nil {
+		tag := fmt.Sprintf("%s/%v@%g%%", wl.Name(), rc.kind, rc.budgetPct)
+		o.EventSink.Drain(tag, m.Events())
+	}
 }
 
 // variantSpecs expands an app name into the dataset/sorting variants the

@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"pccsim/internal/obs"
 )
 
 // Task is one named, self-contained unit of simulation work producing a T.
@@ -23,15 +26,59 @@ type Task[T any] struct {
 // order — the property the experiment determinism tests pin down.
 type RunPool struct {
 	workers int
+
+	// Obs, when non-nil, receives progress counters and gauges
+	// (pool.tasks.*, pool.inflight, pool.queue.depth, pool.task.seconds.*)
+	// so a long grid's advance is visible over the -pprof endpoint or in
+	// the final metrics snapshot. Purely diagnostic: task results and
+	// experiment output are identical with or without it.
+	Obs *obs.Registry
+}
+
+// poolWorkers normalizes a worker-count request (<= 0 selects GOMAXPROCS).
+func poolWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
 }
 
 // NewRunPool returns a pool running at most workers tasks concurrently;
 // workers <= 0 selects GOMAXPROCS.
 func NewRunPool(workers int) *RunPool {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return &RunPool{workers: poolWorkers(workers)}
+}
+
+// taskStarted records a task leaving the queue for a worker.
+func (p *RunPool) taskStarted() {
+	if p.Obs == nil {
+		return
 	}
-	return &RunPool{workers: workers}
+	p.Obs.Gauge("pool.inflight").Add(1)
+	p.Obs.Gauge("pool.queue.depth").Add(-1)
+}
+
+// taskDone records a finished task and its wall-clock cost.
+func (p *RunPool) taskDone(seconds float64) {
+	if p.Obs == nil {
+		return
+	}
+	p.Obs.Counter("pool.tasks.done").Inc()
+	p.Obs.Gauge("pool.inflight").Add(-1)
+	p.Obs.Gauge("pool.task.seconds.total").Add(seconds)
+	p.Obs.Gauge("pool.task.seconds.max").Max(seconds)
+}
+
+// timeTask runs f under the pool's progress instrumentation.
+func timeTask[T any](p *RunPool, f func() (T, error)) (T, error) {
+	if p.Obs == nil {
+		return f()
+	}
+	p.taskStarted()
+	start := time.Now()
+	r, err := f()
+	p.taskDone(time.Since(start).Seconds())
+	return r, err
 }
 
 // Workers returns the configured concurrency.
@@ -53,6 +100,10 @@ func RunAll[T any](pool *RunPool, tasks []Task[T]) ([]T, error) {
 	if n == 0 {
 		return nil, nil
 	}
+	if pool.Obs != nil {
+		pool.Obs.Counter("pool.tasks.total").Add(uint64(n))
+		pool.Obs.Gauge("pool.queue.depth").Add(float64(n))
+	}
 	results := make([]T, n)
 	workers := pool.workers
 	if workers > n {
@@ -61,7 +112,7 @@ func RunAll[T any](pool *RunPool, tasks []Task[T]) ([]T, error) {
 	if workers == 1 {
 		// Inline fast path: no goroutines, strict sequential order.
 		for i, t := range tasks {
-			r, err := t.Run()
+			r, err := timeTask(pool, t.Run)
 			if err != nil {
 				return results, taskError(t.Name, err)
 			}
@@ -94,7 +145,7 @@ func RunAll[T any](pool *RunPool, tasks []Task[T]) ([]T, error) {
 							stop.Store(true)
 						}
 					}()
-					r, err := tasks[i].Run()
+					r, err := timeTask(pool, tasks[i].Run)
 					if err != nil {
 						errs[i] = err
 						stop.Store(true)

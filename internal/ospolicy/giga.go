@@ -58,6 +58,7 @@ func (e *PCCEngine) tick1G(m *vmm.Machine) {
 			}
 			if err := m.Promote1G(proc, cand.Region.Base); err == nil {
 				promoted++
+				e.stats.Promoted1G++
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/obs"
 	"pccsim/internal/vmm"
 )
 
@@ -77,6 +78,9 @@ type HawkEye struct {
 	cfg     HawkEyeConfig
 	rng     *rand.Rand
 	regions map[regionKey]*hawkRegion
+
+	ticks    uint64
+	promoted uint64
 }
 
 // NewHawkEye builds the policy.
@@ -116,9 +120,18 @@ func (h *HawkEye) OnFault(*vmm.Machine, *vmm.Process, mem.VirtAddr) mem.PageSize
 // Tick implements vmm.Policy: sample access bits, update coverage
 // estimates, then promote from the top buckets.
 func (h *HawkEye) Tick(m *vmm.Machine) {
+	h.ticks++
 	h.sample(m)
 	h.fold()
+	m.Notef("hawkeye.scan", "regions_tracked=%d", len(h.regions))
 	h.promote(m)
+}
+
+// PublishMetrics implements vmm.MetricsPublisher.
+func (h *HawkEye) PublishMetrics(s obs.Snapshot) {
+	s.Add("ospolicy.ticks", float64(h.ticks))
+	s.Add("ospolicy.promoted.2m", float64(h.promoted))
+	s.Add("ospolicy.regions_tracked", float64(len(h.regions)))
 }
 
 // sample draws SamplePages random base pages across all processes' VMAs,
@@ -177,8 +190,8 @@ func (h *HawkEye) fold() {
 	pagesPerRegion := float64(mem.Page2M.BasePagesPer())
 	for _, reg := range h.regions {
 		if reg.samples > 0 {
-			obs := float64(reg.hits) / float64(reg.samples) * pagesPerRegion
-			reg.estimate = h.cfg.EWMA*reg.estimate + (1-h.cfg.EWMA)*obs
+			sampled := float64(reg.hits) / float64(reg.samples) * pagesPerRegion
+			reg.estimate = h.cfg.EWMA*reg.estimate + (1-h.cfg.EWMA)*sampled
 		} else {
 			// Unsampled this interval: age the estimate mildly.
 			reg.estimate *= h.cfg.EWMA
@@ -223,6 +236,7 @@ func (h *HawkEye) promote(m *vmm.Machine) {
 		err := m.Promote2M(r.proc, r.base)
 		if err == nil {
 			promoted++
+			h.promoted++
 			continue
 		}
 		if pe, ok := err.(*vmm.PromoteError); ok && pe.Reason == "no physical block available" {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/obs"
 	"pccsim/internal/vmm"
 )
 
@@ -63,6 +64,18 @@ type LinuxTHP struct {
 	// khugepaged scan cursor.
 	procIdx int
 	offset  uint64
+
+	ticks    uint64
+	promoted uint64
+}
+
+// PublishMetrics implements vmm.MetricsPublisher.
+func (l *LinuxTHP) PublishMetrics(s obs.Snapshot) {
+	s.Add("ospolicy.ticks", float64(l.ticks))
+	s.Add("ospolicy.promoted.2m", float64(l.promoted))
+	if l.deferred {
+		s.Add("ospolicy.deferred", 1)
+	}
 }
 
 // Madvise registers a MADV_HUGEPAGE range for the process (a no-op unless
@@ -125,6 +138,7 @@ func (l *LinuxTHP) OnFault(m *vmm.Machine, p *vmm.Process, addr mem.VirtAddr) me
 // Tick implements vmm.Policy: khugepaged — scan VMAs in address order and
 // collapse regions whose base pages are fully present.
 func (l *LinuxTHP) Tick(m *vmm.Machine) {
+	l.ticks++
 	procs := m.Procs()
 	if len(procs) == 0 {
 		return
@@ -181,6 +195,9 @@ func (l *LinuxTHP) Tick(m *vmm.Machine) {
 	}
 
 	sort.Slice(targets, func(i, j int) bool { return targets[i].base < targets[j].base })
+	if len(targets) > 0 {
+		m.Notef("khugepaged", "collapse_targets=%d", len(targets))
+	}
 	promoted := 0
 	for _, t := range targets {
 		if promoted >= l.cfg.KhugepagedPromotions {
@@ -188,6 +205,7 @@ func (l *LinuxTHP) Tick(m *vmm.Machine) {
 		}
 		if err := m.Promote2M(t.p, t.base); err == nil {
 			promoted++
+			l.promoted++
 		} else if pe, ok := err.(*vmm.PromoteError); ok && pe.Reason == "no physical block available" {
 			return
 		}

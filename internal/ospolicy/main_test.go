@@ -1,0 +1,16 @@
+package ospolicy
+
+import (
+	"os"
+	"testing"
+
+	"pccsim/internal/vmm"
+)
+
+// TestMain arms the machine invariant auditor for every policy test:
+// cross-consistency of TLBs, page tables, PCCs, physical-memory accounting,
+// and the engine's own promotion ledger is verified after every policy tick.
+func TestMain(m *testing.M) {
+	vmm.TestForceAudit = true
+	os.Exit(m.Run())
+}

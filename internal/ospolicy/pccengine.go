@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/obs"
 	"pccsim/internal/pcc"
 	"pccsim/internal/vmm"
 )
@@ -78,6 +79,20 @@ type PCCEngine struct {
 	// victims under memory pressure.
 	lastSample map[demoteKey]uint64
 	coldTicks  map[demoteKey]int
+
+	// stats is the engine's own promotion ledger. Machine.Audit cross-checks
+	// it against the per-process ground truth via AuditPolicy, so an engine
+	// that double-promotes or loses track of a region fails loudly.
+	stats engineStats
+}
+
+// engineStats counts the engine's OS-side activity.
+type engineStats struct {
+	Ticks      uint64
+	Candidates uint64 // candidates surviving the MinFreq filter, all ticks
+	Promoted2M uint64
+	Promoted1G uint64
+	Demoted2M  uint64
 }
 
 type demoteKey struct {
@@ -124,6 +139,7 @@ type candidate struct {
 // candidates per the configured policy, promote them (with optional
 // demotion to relieve memory pressure).
 func (e *PCCEngine) Tick(m *vmm.Machine) {
+	e.stats.Ticks++
 	if e.cfg.EnableDemotion {
 		e.sampleIdle(m)
 	}
@@ -134,6 +150,12 @@ func (e *PCCEngine) Tick(m *vmm.Machine) {
 	if len(perCore) == 0 {
 		return
 	}
+	total := 0
+	for _, cs := range perCore {
+		total += len(cs)
+	}
+	e.stats.Candidates += uint64(total)
+	m.Notef("pcc.dump", "cores=%d candidates=%d", len(perCore), total)
 	selected := e.sel(perCore)
 
 	promoted := 0
@@ -147,6 +169,7 @@ func (e *PCCEngine) Tick(m *vmm.Machine) {
 		err := m.Promote2M(c.proc, c.cand.Region.Base)
 		if err == nil {
 			promoted++
+			e.stats.Promoted2M++
 			continue
 		}
 		pe, ok := err.(*vmm.PromoteError)
@@ -158,6 +181,7 @@ func (e *PCCEngine) Tick(m *vmm.Machine) {
 			if e.cfg.EnableDemotion && e.demoteOne(m, perCore) {
 				if m.Promote2M(c.proc, c.cand.Region.Base) == nil {
 					promoted++
+					e.stats.Promoted2M++
 					continue
 				}
 			}
@@ -311,9 +335,64 @@ func (e *PCCEngine) demoteOne(m *vmm.Machine, perCore map[int][]candidate) bool 
 			if m.Demote2M(p, victim.base) == nil {
 				delete(e.coldTicks, victim)
 				delete(e.lastSample, victim)
+				e.stats.Demoted2M++
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// PublishMetrics implements vmm.MetricsPublisher.
+func (e *PCCEngine) PublishMetrics(s obs.Snapshot) {
+	s.Add("ospolicy.ticks", float64(e.stats.Ticks))
+	s.Add("ospolicy.candidates", float64(e.stats.Candidates))
+	s.Add("ospolicy.promoted.2m", float64(e.stats.Promoted2M))
+	s.Add("ospolicy.promoted.1g", float64(e.stats.Promoted1G))
+	s.Add("ospolicy.demoted.2m", float64(e.stats.Demoted2M))
+}
+
+// AuditPolicy implements vmm.PolicyAuditor: the engine is the sole source
+// of promotions and demotions when installed, so its ledger must match the
+// per-process ground truth exactly, and every idle-tracking key must refer
+// to a region that is still 2MB-mapped.
+func (e *PCCEngine) AuditPolicy(m *vmm.Machine) []string {
+	var bad []string
+	var p2m, p1g, dem uint64
+	for _, p := range m.Procs() {
+		p2m += p.Promotions2M
+		p1g += p.Promotions1G
+		dem += p.Demotions
+	}
+	if e.stats.Promoted2M != p2m {
+		bad = append(bad, fmt.Sprintf("ospolicy: engine promoted %d 2MB regions but processes record %d",
+			e.stats.Promoted2M, p2m))
+	}
+	if e.stats.Promoted1G != p1g {
+		bad = append(bad, fmt.Sprintf("ospolicy: engine promoted %d 1GB regions but processes record %d",
+			e.stats.Promoted1G, p1g))
+	}
+	if e.stats.Demoted2M != dem {
+		bad = append(bad, fmt.Sprintf("ospolicy: engine demoted %d regions but processes record %d",
+			e.stats.Demoted2M, dem))
+	}
+	// 1GB promotion absorbs 2MB regions without passing through sampleIdle,
+	// leaving coldTicks keys stale until the next tick prunes them — skip
+	// the liveness check in that configuration.
+	if !e.cfg.Giga.Enable {
+		for k := range e.coldTicks {
+			live := false
+			for _, p := range m.Procs() {
+				if p.ID == k.pid && p.IsHuge2M(k.base) {
+					live = true
+					break
+				}
+			}
+			if !live {
+				bad = append(bad, fmt.Sprintf("ospolicy: idle-tracker key pid=%d base=%#x is not 2MB-mapped",
+					k.pid, uint64(k.base)))
+			}
+		}
+	}
+	return bad
 }

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/obs"
 )
 
 // ReplacementPolicy selects the victim on insertion into a full PCC.
@@ -256,6 +257,31 @@ func (p *PCC) Dump() []Candidate {
 		}
 	}
 	return out
+}
+
+// Regions returns the tracked regions in insertion-slot order, without
+// touching the Dumps counter or any other state. The invariant auditor uses
+// this so auditing never perturbs the statistics the experiments report.
+func (p *PCC) Regions() []mem.Region {
+	out := make([]mem.Region, 0, len(p.entries))
+	shift := p.cfg.RegionSize.Shift()
+	for i := range p.entries {
+		if e := &p.entries[i]; e.valid {
+			out = append(out, mem.Region{Base: mem.VirtAddr(uint64(e.tag) << shift), Size: p.cfg.RegionSize})
+		}
+	}
+	return out
+}
+
+// Publish adds the PCC's counters into s under prefix.
+func (p *PCC) Publish(s obs.Snapshot, prefix string) {
+	s.Add(prefix+".lookups", float64(p.stats.Lookups))
+	s.Add(prefix+".hits", float64(p.stats.Hits))
+	s.Add(prefix+".inserts", float64(p.stats.Inserts))
+	s.Add(prefix+".evictions", float64(p.stats.Evictions))
+	s.Add(prefix+".decays", float64(p.stats.Decays))
+	s.Add(prefix+".invalidates", float64(p.stats.Invalidates))
+	s.Add(prefix+".dumps", float64(p.stats.Dumps))
 }
 
 // Peek returns the frequency for the region containing a, if tracked. Used

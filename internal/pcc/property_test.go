@@ -1,0 +1,63 @@
+package pcc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pccsim/internal/mem"
+)
+
+// TestPropertyCountersNeverExceedBitWidth hammers PCCs of every counter
+// width, replacement policy, and decay setting with random access streams
+// and verifies no frequency counter — as observed through Peek and Dump —
+// ever exceeds the saturation ceiling its bit-width allows. The decay
+// mechanism (halve on saturate) must in particular never wrap or overshoot.
+func TestPropertyCountersNeverExceedBitWidth(t *testing.T) {
+	for _, bits := range []int{1, 2, 4, 8, 12} {
+		for _, repl := range []ReplacementPolicy{LFU, LRU, FIFO} {
+			for _, noDecay := range []bool{false, true} {
+				name := fmt.Sprintf("bits=%d/%v/decay=%v", bits, repl, !noDecay)
+				t.Run(name, func(t *testing.T) {
+					maxFreq := uint32(1)<<uint(bits) - 1
+					p := New(Config{
+						Entries:      16,
+						RegionSize:   mem.Page2M,
+						CounterBits:  bits,
+						Replacement:  repl,
+						DisableDecay: noDecay,
+					})
+					rng := rand.New(rand.NewSource(int64(bits)))
+					// Few regions so counters saturate repeatedly; more
+					// regions than entries so replacement churns too.
+					regions := make([]mem.VirtAddr, 24)
+					for i := range regions {
+						regions[i] = mem.VirtAddr(i) << 21
+					}
+					check := func(step int) {
+						for _, base := range regions {
+							if f, ok := p.Peek(base); ok && f > maxFreq {
+								t.Fatalf("step %d: Peek(%#x) = %d exceeds %d-bit max %d",
+									step, base, f, bits, maxFreq)
+							}
+						}
+						for _, c := range p.Dump() {
+							if c.Freq > maxFreq {
+								t.Fatalf("step %d: Dump freq %d exceeds %d-bit max %d",
+									step, c.Freq, bits, maxFreq)
+							}
+						}
+					}
+					for step := 0; step < 5000; step++ {
+						r := regions[rng.Intn(len(regions))]
+						p.Record(r + mem.VirtAddr(rng.Uint64()%uint64(mem.Page2M)))
+						if step%250 == 0 {
+							check(step)
+						}
+					}
+					check(5000)
+				})
+			}
+		}
+	}
+}

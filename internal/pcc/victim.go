@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/obs"
 )
 
 // VictimTracker is the design alternative §5.4.1 discusses: instead of a
@@ -25,13 +26,16 @@ type VictimTracker struct {
 
 // Tracker is the candidate-source surface shared by the PCC and the victim
 // tracker: the OS only needs recording, ranked dumps, and shootdown
-// invalidation.
+// invalidation. Regions and Publish are stats-neutral observability reads
+// for the invariant auditor and the metrics registry.
 type Tracker interface {
 	Record(a mem.VirtAddr)
 	Dump() []Candidate
 	Invalidate(a mem.VirtAddr) bool
 	InvalidateRange(r mem.Range) int
 	Len() int
+	Regions() []mem.Region
+	Publish(s obs.Snapshot, prefix string)
 }
 
 var (
@@ -159,3 +163,24 @@ func (v *VictimTracker) Len() int {
 
 // Stats returns the counters.
 func (v *VictimTracker) Stats() Stats { return v.stats }
+
+// Regions returns the tracked regions in slot order without touching stats.
+func (v *VictimTracker) Regions() []mem.Region {
+	out := make([]mem.Region, 0, len(v.entries))
+	for i := range v.entries {
+		if e := &v.entries[i]; e.valid {
+			out = append(out, mem.Region{Base: mem.VirtAddr(uint64(e.tag) << mem.Page2M.Shift()), Size: mem.Page2M})
+		}
+	}
+	return out
+}
+
+// Publish adds the tracker's counters into s under prefix.
+func (v *VictimTracker) Publish(s obs.Snapshot, prefix string) {
+	s.Add(prefix+".lookups", float64(v.stats.Lookups))
+	s.Add(prefix+".hits", float64(v.stats.Hits))
+	s.Add(prefix+".inserts", float64(v.stats.Inserts))
+	s.Add(prefix+".evictions", float64(v.stats.Evictions))
+	s.Add(prefix+".invalidates", float64(v.stats.Invalidates))
+	s.Add(prefix+".dumps", float64(v.stats.Dumps))
+}

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/obs"
 )
 
 // blockState describes one 2MB-aligned physical block.
@@ -209,6 +210,59 @@ func (m *Memory) FreeHuge() {
 // experiments (the workloads fit in memory); the call exists for accounting
 // symmetry and for the bloat metric.
 func (m *Memory) AllocBase(n uint64) { m.stats.BaseAllocs += n }
+
+// Publish adds the memory model's counters and block census into s under
+// prefix.
+func (m *Memory) Publish(s obs.Snapshot, prefix string) {
+	s.Add(prefix+".huge.allocs", float64(m.stats.HugeAllocs))
+	s.Add(prefix+".huge.alloc_failures", float64(m.stats.HugeAllocFailures))
+	s.Add(prefix+".huge.frees", float64(m.stats.HugeFrees))
+	s.Add(prefix+".giga.allocs", float64(m.stats.GigaAllocs))
+	s.Add(prefix+".giga.alloc_failures", float64(m.stats.GigaAllocFailures))
+	s.Add(prefix+".giga.frees", float64(m.stats.GigaFrees))
+	s.Add(prefix+".compactions", float64(m.stats.Compactions))
+	s.Add(prefix+".frames_migrated", float64(m.stats.FramesMigrated))
+	s.Add(prefix+".base_allocs", float64(m.stats.BaseAllocs))
+	s.Add(prefix+".blocks.huge", float64(m.hugeBlocks))
+	s.Add(prefix+".blocks.free", float64(m.freeBlocks))
+	s.Add(prefix+".giga.pages", float64(m.gigaPages))
+}
+
+// Audit cross-checks the cached free/huge/giga tallies against a fresh
+// census of the block index and verifies per-block bookkeeping. It returns
+// one human-readable message per violation (empty means consistent). The
+// model does not track which window belongs to which 1GB page, so the huge
+// check is census-level: every blockHuge block must be owned by either a
+// 2MB page or one of the gigaPages windows.
+func (m *Memory) Audit() []string {
+	var bad []string
+	var free, huge int
+	for i, b := range m.blocks {
+		switch b {
+		case blockFree:
+			free++
+			if m.movableFrames[i] != 0 {
+				bad = append(bad, fmt.Sprintf("physmem: free block %d holds %d movable frames", i, m.movableFrames[i]))
+			}
+		case blockHuge:
+			huge++
+			if m.movableFrames[i] != 0 {
+				bad = append(bad, fmt.Sprintf("physmem: huge block %d holds %d movable frames", i, m.movableFrames[i]))
+			}
+		}
+	}
+	if free != m.freeBlocks {
+		bad = append(bad, fmt.Sprintf("physmem: freeBlocks=%d but census counts %d", m.freeBlocks, free))
+	}
+	if want := m.hugeBlocks + blocksPerGiga*m.gigaPages; huge != want {
+		bad = append(bad, fmt.Sprintf("physmem: %d huge-state blocks but %d 2MB pages + %d 1GB pages account for %d",
+			huge, m.hugeBlocks, m.gigaPages, want))
+	}
+	if m.freeBlocks < 0 || m.hugeBlocks < 0 || m.gigaPages < 0 {
+		bad = append(bad, fmt.Sprintf("physmem: negative tally free=%d huge=%d giga=%d", m.freeBlocks, m.hugeBlocks, m.gigaPages))
+	}
+	return bad
+}
 
 // String summarizes the block population.
 func (m *Memory) String() string {

@@ -1,0 +1,66 @@
+package physmem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPropertyFragmentOneUnmovablePerBlock checks the paper's fragmentation
+// pattern ("one non-movable page in every 2MB-aligned region" across X% of
+// memory): for any fraction and seed, exactly int(frac*blocks) distinct
+// blocks are unmovable — the injector never stacks two unmovable frames
+// into one region (which would understate fragmentation), and never leaks
+// an unmovable frame into a block counted as usable.
+func TestPropertyFragmentOneUnmovablePerBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		blocks := 1 + rng.Intn(256)
+		frac := rng.Float64()
+		fill := float64(rng.Intn(3)) * 0.5 // 0, 0.5, 1.0
+		m := New(Config{TotalBytes: uint64(blocks) << 21, MovableFillRatio: fill})
+		m.Fragment(frac, rand.New(rand.NewSource(int64(trial))))
+
+		unmovable := 0
+		for b, st := range m.blocks {
+			switch st {
+			case blockUnmovable:
+				unmovable++
+			case blockFree:
+				if m.movableFrames[b] != 0 {
+					t.Fatalf("trial %d: free block %d holds %d frames", trial, b, m.movableFrames[b])
+				}
+			}
+		}
+		if want := int(frac * float64(blocks)); unmovable != want {
+			t.Fatalf("trial %d: frac=%v over %d blocks marked %d unmovable blocks, want exactly %d",
+				trial, frac, blocks, unmovable, want)
+		}
+		if bad := m.Audit(); len(bad) > 0 {
+			t.Fatalf("trial %d: audit after Fragment: %v", trial, bad)
+		}
+	}
+}
+
+// TestPropertyAuditCleanUnderRandomAllocFree runs random huge/giga
+// alloc/free sequences over fragmented memory and checks the allocator's
+// own census audit stays clean at every step.
+func TestPropertyAuditCleanUnderRandomAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		blocks := 512 + rng.Intn(1024)
+		m := New(Config{TotalBytes: uint64(blocks) << 21, MovableFillRatio: 0.5})
+		m.Fragment(rng.Float64()*0.9, rand.New(rand.NewSource(int64(trial))))
+		live := 0
+		for step := 0; step < 200; step++ {
+			if live > 0 && rng.Intn(3) == 0 {
+				m.FreeHuge()
+				live--
+			} else if _, ok := m.AllocHuge(); ok {
+				live++
+			}
+			if bad := m.Audit(); len(bad) > 0 {
+				t.Fatalf("trial %d step %d: %v", trial, step, bad)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/obs"
 )
 
 // PWCConfig configures the page walk cache: small fully-associative caches
@@ -227,6 +228,19 @@ func (w *Walker) Flush() {
 
 // Stats returns a copy of the counters.
 func (w *Walker) Stats() WalkerStats { return w.stats }
+
+// Publish adds the walker's counters into s under prefix.
+func (w *Walker) Publish(s obs.Snapshot, prefix string) {
+	s.Add(prefix+".walks", float64(w.stats.Walks))
+	s.Add(prefix+".faults", float64(w.stats.Faults))
+	s.Add(prefix+".levels_read", float64(w.stats.LevelsRead))
+	s.Add(prefix+".pwc.hits", float64(w.stats.PWCHits))
+	s.Add(prefix+".pwc.lookups", float64(w.stats.PWCLookups))
+	s.Add(prefix+".walks.4k", float64(w.stats.Walks4K))
+	s.Add(prefix+".walks.2m", float64(w.stats.Walks2M))
+	s.Add(prefix+".walks.1g", float64(w.stats.Walks1G))
+	s.Add(prefix+".cold_filtered", float64(w.stats.ColdFiltered))
+}
 
 // ResetStats zeroes the counters.
 func (w *Walker) ResetStats() { w.stats = WalkerStats{} }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/obs"
 )
 
 // HierarchyConfig describes the full data-TLB hierarchy of one core,
@@ -191,6 +192,26 @@ func (h *Hierarchy) L1(size mem.PageSize) *TLB { return h.l1[sizeIndex(size)] }
 
 // L2 returns the unified second-level TLB.
 func (h *Hierarchy) L2() *TLB { return h.l2 }
+
+// VisitValid calls fn for every valid entry at every level, tagged with the
+// structure's name. Diagnostic iteration for the invariant auditor.
+func (h *Hierarchy) VisitValid(fn func(level string, vpn mem.PageNum, size mem.PageSize)) {
+	for _, t := range h.l1 {
+		name := t.Name()
+		t.VisitValid(func(vpn mem.PageNum, size mem.PageSize) { fn(name, vpn, size) })
+	}
+	h.l2.VisitValid(func(vpn mem.PageNum, size mem.PageSize) { fn(h.l2.Name(), vpn, size) })
+}
+
+// Publish adds the hierarchy's counters into s under prefix.
+func (h *Hierarchy) Publish(s obs.Snapshot, prefix string) {
+	s.Add(prefix+".accesses", float64(h.accesses))
+	s.Add(prefix+".walks", float64(h.walks))
+	h.l1[0].Publish(s, prefix+".l1d4k")
+	h.l1[1].Publish(s, prefix+".l1d2m")
+	h.l1[2].Publish(s, prefix+".l1d1g")
+	h.l2.Publish(s, prefix+".l2")
+}
 
 // ResetStats clears all counters in every level and the hierarchy itself.
 func (h *Hierarchy) ResetStats() {

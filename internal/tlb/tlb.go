@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/obs"
 )
 
 // Stats accumulates hit/miss counters for one TLB.
@@ -237,4 +238,23 @@ func (t *TLB) Occupancy() int {
 		}
 	}
 	return n
+}
+
+// VisitValid calls fn for every valid entry without perturbing LRU state or
+// statistics. The invariant auditor and property tests use this to check
+// that no stale translation survives a shootdown.
+func (t *TLB) VisitValid(fn func(vpn mem.PageNum, size mem.PageSize)) {
+	for i := range t.entries {
+		if e := &t.entries[i]; e.valid {
+			fn(e.vpn, e.size)
+		}
+	}
+}
+
+// Publish adds the TLB's counters into s under prefix ("prefix.hits", ...).
+func (t *TLB) Publish(s obs.Snapshot, prefix string) {
+	s.Add(prefix+".hits", float64(t.stats.Hits))
+	s.Add(prefix+".misses", float64(t.stats.Misses))
+	s.Add(prefix+".evictions", float64(t.stats.Evictions))
+	s.Add(prefix+".invalidates", float64(t.stats.Invalidates))
 }

@@ -148,12 +148,14 @@ func (fs *FileStream) nextText() (Access, bool) {
 			a.Write = true
 		}
 		if len(fields) > 2 {
-			t, err := strconv.Atoi(fields[2])
+			// Thread ids index core arrays downstream, so negative values
+			// (which Atoi would accept) must be rejected as malformed.
+			t, err := strconv.ParseUint(fields[2], 10, 31)
 			if err != nil {
 				fs.err = fmt.Errorf("trace: bad thread %q: %w", fields[2], err)
 				return Access{}, false
 			}
-			a.Thread = t
+			a.Thread = int(t)
 		}
 		return a, true
 	}

@@ -68,6 +68,15 @@ type Config struct {
 	// NUMA enables the multi-node memory model (zero value: single node,
 	// the bound configuration the paper's methodology uses everywhere).
 	NUMA NUMAConfig
+	// EventLogSize enables the machine's event trace (promotions, demotions,
+	// shootdowns, compactions, policy dumps) with a ring bound of that many
+	// events. 0 disables tracing entirely (zero overhead); negative uses
+	// obs.DefaultEventLogSize.
+	EventLogSize int
+	// AuditEveryTick runs the invariant auditor after every policy tick and
+	// at end of run, panicking on the first violation. Test harnesses force
+	// it on via TestForceAudit so accounting bugs fail loudly.
+	AuditEveryTick bool
 }
 
 // DefaultConfig returns the Table 2 machine: one core, Haswell-style TLBs,

@@ -67,6 +67,10 @@ func (m *Machine) Promote1G(p *Process, addr mem.VirtAddr) error {
 	p.huge1G[r.Base] = m.accessCount
 	p.hugeBytes += uint64(mem.Page1G)
 	p.Promotions1G++
+	if migrated > 0 {
+		m.events.Recordf(m.accessCount, "compaction", "proc=%s migrated=%d (promote1g)", p.Name, migrated)
+	}
+	m.events.Recordf(m.accessCount, "promote1g", "proc=%s base=%#x", p.Name, uint64(r.Base))
 
 	m.shootdownAll(mem.Range{Start: r.Base, End: r.End()})
 	return nil
@@ -106,6 +110,7 @@ func (m *Machine) Demote1G(p *Process, addr mem.VirtAddr) error {
 	}
 	p.Demotions++
 	m.chargeAll(m.cfg.Cost.PromoteFixed)
+	m.events.Recordf(m.accessCount, "demote1g", "proc=%s base=%#x", p.Name, uint64(base))
 	m.shootdownAll(mem.Range{Start: base, End: r.End()})
 	return nil
 }

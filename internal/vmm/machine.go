@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/obs"
 	"pccsim/internal/physmem"
 )
 
@@ -50,7 +51,18 @@ type Machine struct {
 	// simulated timestamp — the candidate trace of the paper's two-step
 	// methodology (offline simulation writes it; replay consumes it).
 	promotionLog []PromotionEvent
+
+	// events is the bounded event trace (nil when Config.EventLogSize is 0;
+	// every record through a nil log is a no-op).
+	events *obs.EventLog
 }
+
+// TestForceAudit, when true, forces AuditEveryTick on for every machine
+// built afterwards. Test packages set it in TestMain so every simulated
+// machine in the suite runs with the invariant auditor armed, making
+// accounting regressions panic at the tick that introduced them instead of
+// drifting a result curve.
+var TestForceAudit bool
 
 // PromotionEvent is one entry of the candidate trace: which region of which
 // process was promoted, and when (in simulated accesses).
@@ -76,12 +88,18 @@ func NewMachine(cfg Config, policy Policy) *Machine {
 	if cfg.PromotionInterval == 0 {
 		cfg.PromotionInterval = DefaultConfig().PromotionInterval
 	}
+	if TestForceAudit {
+		cfg.AuditEveryTick = true
+	}
 	m := &Machine{
 		cfg:      cfg,
 		phys:     physmem.New(cfg.Phys),
 		policy:   policy,
 		nextTick: cfg.PromotionInterval,
 		numa:     newNUMAState(cfg.NUMA),
+	}
+	if cfg.EventLogSize != 0 {
+		m.events = obs.NewEventLog(cfg.EventLogSize)
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, newCore(i, cfg))
@@ -130,6 +148,7 @@ func (m *Machine) fault(c *Core, p *Process, addr mem.VirtAddr) {
 	}
 	if want == mem.Page2M {
 		if r, v, ok := p.regionEligible2M(addr); ok && !m.overHugeBudget(p) {
+			mapped4k, _ := p.mappedPagesIn(v, r)
 			if migrated, allocOK := m.phys.AllocHuge(); allocOK {
 				// Synchronous THP allocation: zeroing 2MB plus any
 				// direct compaction, charged to the faulting core.
@@ -137,6 +156,7 @@ func (m *Machine) fault(c *Core, p *Process, addr mem.VirtAddr) {
 					float64(migrated)*m.cfg.Cost.CompactPer4K
 				if migrated > 0 {
 					cost += m.cfg.Cost.DirectCompactStall
+					m.events.Recordf(m.accessCount, "compaction", "proc=%s migrated=%d (fault)", p.Name, migrated)
 				}
 				c.Cycles += cost
 				c.StallCycles += cost
@@ -145,6 +165,14 @@ func (m *Machine) fault(c *Core, p *Process, addr mem.VirtAddr) {
 				p.huge2M[r.Base] = m.accessCount
 				p.hugeBytes += uint64(mem.Page2M)
 				p.HugeFaults++
+				m.events.Recordf(m.accessCount, "fault.huge", "proc=%s base=%#x", p.Name, uint64(r.Base))
+				if mapped4k > 0 {
+					// The region had live 4KB PTEs before the collapse
+					// (an earlier huge allocation failed and faults fell
+					// back to base pages); their cached translations must
+					// not survive the remap.
+					m.shootdownAll(mem.Range{Start: r.Base, End: r.End()})
+				}
 				return
 			}
 			m.PromotionFailures++
@@ -185,8 +213,9 @@ func (m *Machine) TotalHugeBytes() uint64 {
 // PCC entries (the paper's rule that a TLB shootdown for a region drops the
 // region from the PCC, so no stale candidate survives).
 func (m *Machine) shootdownAll(r mem.Range) {
+	dropped := 0
 	for _, c := range m.cores {
-		c.TLB.Shootdown(r)
+		dropped += c.TLB.Shootdown(r)
 		c.Walker.InvalidateRange(r)
 		if c.PCC2M != nil {
 			c.PCC2M.InvalidateRange(r)
@@ -198,6 +227,7 @@ func (m *Machine) shootdownAll(r mem.Range) {
 			c.Victim.InvalidateRange(r)
 		}
 	}
+	m.events.Recordf(m.accessCount, "shootdown", "range=%#x-%#x dropped=%d", uint64(r.Start), uint64(r.End), dropped)
 }
 
 // chargeAll adds cycles to every core (shootdown IPIs interrupt everyone).
@@ -255,6 +285,10 @@ func (m *Machine) Promote2M(p *Process, addr mem.VirtAddr) error {
 	m.promotionLog = append(m.promotionLog, PromotionEvent{
 		AtAccess: m.accessCount, ProcID: p.ID, Base: r.Base,
 	})
+	if migrated > 0 {
+		m.events.Recordf(m.accessCount, "compaction", "proc=%s migrated=%d (promote)", p.Name, migrated)
+	}
+	m.events.Recordf(m.accessCount, "promote2m", "proc=%s base=%#x mapped4k=%d", p.Name, uint64(r.Base), mapped4k)
 
 	m.shootdownAll(mem.Range{Start: r.Base, End: r.End()})
 	return nil
@@ -283,6 +317,7 @@ func (m *Machine) Demote2M(p *Process, addr mem.VirtAddr) error {
 	p.Demotions++
 	m.phys.FreeHuge()
 	m.chargeAll(m.cfg.Cost.PromoteFixed)
+	m.events.Recordf(m.accessCount, "demote2m", "proc=%s base=%#x", p.Name, uint64(base))
 	m.shootdownAll(mem.Range{Start: base, End: r.End()})
 	return nil
 }

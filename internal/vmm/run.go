@@ -108,9 +108,16 @@ func (m *Machine) Run(jobs ...*Job) RunResult {
 					if m.policy != nil {
 						m.policy.Tick(m)
 					}
+					if m.cfg.AuditEveryTick {
+						m.auditNow("after policy tick")
+					}
 				}
 			}
 		}
+	}
+
+	if m.cfg.AuditEveryTick {
+		m.auditNow("at end of run")
 	}
 
 	res := RunResult{
