@@ -12,6 +12,9 @@
 // flags: -audit arms the per-tick invariant auditor and prints the merged
 // metrics snapshot, -events writes the simulation event trace to a file,
 // -pprof serves the Go profiling endpoints while experiments run.
+// Performance flags: -workers parallelizes the grid simulations and
+// -tracecache bounds the shared trace record/replay cache (0 disables it);
+// neither changes any experiment's output.
 package main
 
 import (
@@ -46,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 0, "override fragmentation seed")
 		plots     = fs.String("plots", "", "also write SVG figures into this directory")
 		workers   = fs.Int("workers", 0, "parallel simulations per experiment (0 = GOMAXPROCS); output is identical at any setting")
+		traceMiB  = fs.Int64("tracecache", 512, "trace record/replay cache budget in MiB (0 disables); output is identical either way")
 		audit     = fs.Bool("audit", false, "verify machine invariants every policy tick and print the merged metrics snapshot")
 		events    = fs.String("events", "", "write the simulation event trace (promotions, PCC dumps, compactions, shootdowns) to this file")
 		pprofAddr = fs.String("pprof", "", "serve Go pprof endpoints on this address (e.g. localhost:6060) while running")
@@ -55,6 +59,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *workers < 0 {
 		fmt.Fprintf(stderr, "pccsim: -workers must be >= 0, got %d\n", *workers)
+		return 2
+	}
+	if *traceMiB < 0 {
+		fmt.Fprintf(stderr, "pccsim: -tracecache must be >= 0 MiB, got %d\n", *traceMiB)
 		return 2
 	}
 
@@ -79,6 +87,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	o.PlotDir = *plots
 	o.Workers = *workers
+	if *traceMiB == 0 {
+		o.TraceCache = -1 // disabled: always generate streams live
+	} else {
+		o.TraceCache = *traceMiB << 20
+	}
 
 	if *exp == "list" {
 		fmt.Fprintln(stdout, "available experiments:")

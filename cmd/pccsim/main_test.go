@@ -38,6 +38,20 @@ func TestNegativeWorkersRejectedAtParse(t *testing.T) {
 	}
 }
 
+func TestNegativeTraceCacheRejectedAtParse(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-exp", "fig5", "-quick", "-tracecache", "-1"}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("-tracecache -1 must exit non-zero")
+	}
+	if !strings.Contains(errOut.String(), "-tracecache must be >= 0") {
+		t.Errorf("stderr must explain the -tracecache constraint:\n%s", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("no experiment may run with invalid -tracecache:\n%s", out.String())
+	}
+}
+
 func TestUndefinedFlagExitsNonZero(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-no-such-flag"}, &out, &errOut); code == 0 {

@@ -11,10 +11,11 @@ import (
 var update = flag.Bool("update", false, "rewrite the golden files with the current output")
 
 // TestGolden pins the -quick stdout of the headline figures byte-for-byte.
-// Each figure runs at two worker counts and must produce identical output —
-// the determinism contract the run pool documents — before being compared
-// against testdata/<fig>_quick.golden. Regenerate after an intentional
-// output change with:
+// Each figure runs at two worker counts, with the trace record/replay cache
+// both enabled and disabled, and all four runs must produce identical
+// output — the determinism contracts the run pool and the trace cache
+// document — before being compared against testdata/<fig>_quick.golden.
+// Regenerate after an intentional output change with:
 //
 //	go test ./internal/experiments -run Golden -update
 func TestGolden(t *testing.T) {
@@ -26,20 +27,23 @@ func TestGolden(t *testing.T) {
 	}
 	for _, name := range []string{"fig1", "fig5", "fig6", "fig7"} {
 		t.Run(name, func(t *testing.T) {
-			byWorkers := map[int][]byte{}
+			var got []byte
 			for _, w := range []int{1, 8} {
-				var buf bytes.Buffer
-				o := QuickOptions(&buf)
-				o.Workers = w
-				if err := Run(name, o); err != nil {
-					t.Fatalf("%s at %d workers: %v", name, w, err)
+				for _, cache := range []int64{0, -1} { // default budget, disabled
+					var buf bytes.Buffer
+					o := QuickOptions(&buf)
+					o.Workers = w
+					o.TraceCache = cache
+					if err := Run(name, o); err != nil {
+						t.Fatalf("%s at %d workers (cache %d): %v", name, w, cache, err)
+					}
+					if got == nil {
+						got = buf.Bytes()
+					} else if !bytes.Equal(got, buf.Bytes()) {
+						t.Fatalf("%s output differs at %d workers, trace cache %d", name, w, cache)
+					}
 				}
-				byWorkers[w] = buf.Bytes()
 			}
-			if !bytes.Equal(byWorkers[1], byWorkers[8]) {
-				t.Fatalf("%s output differs between 1 and 8 workers", name)
-			}
-			got := byWorkers[1]
 			if len(got) == 0 {
 				t.Fatalf("%s produced no output", name)
 			}

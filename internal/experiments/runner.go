@@ -69,6 +69,13 @@ type Options struct {
 	// EventSink, when non-nil, enables per-machine event tracing and
 	// drains each run's trace into the sink, tagged with the run name.
 	EventSink *obs.Sink
+	// TraceCache controls the process-wide trace record/replay cache that
+	// lets a grid generate each workload access stream once and replay it
+	// across cells: 0 uses the DefaultTraceCacheBytes budget, a positive
+	// value is a byte cap on the cache's encoded recordings, and a negative
+	// value disables caching (every run generates its stream live). Replays
+	// are byte-identical to live emission, so this never changes results.
+	TraceCache int64
 }
 
 // pool returns the run pool the options select.
@@ -212,8 +219,10 @@ func (o Options) machineConfig(rc runCfg) vmm.Config {
 	return cfg
 }
 
-// runOne simulates workload wl under rc and returns the result.
-func (o Options) runOne(wl workloads.Workload, rc runCfg) vmm.RunResult {
+// runOne simulates workload wl (built from spec s) under rc and returns the
+// result. The spec routes the access stream through the trace cache when it
+// is enabled.
+func (o Options) runOne(s workloads.Spec, wl workloads.Workload, rc runCfg) vmm.RunResult {
 	if rc.threads < 1 {
 		rc.threads = 1
 	}
@@ -252,7 +261,7 @@ func (o Options) runOne(wl workloads.Workload, rc runCfg) vmm.RunResult {
 	}
 	// Run drains the stream, but an abort (panic, pool cancellation) must
 	// still terminate the workload's producer goroutine.
-	st := wl.Stream()
+	st := o.streamFor(s, wl)
 	defer workloads.CloseStream(st)
 	res := m.Run(&vmm.Job{Proc: p, Stream: st, Cores: cores})
 	o.observe(m, wl, rc)
@@ -339,10 +348,10 @@ func (o Options) runApp(app string, rc runCfg, baselines baselineCache) appResul
 			brc.kind = polBaseline
 			brc.frag = 0
 			brc.budgetPct = 0
-			base = o.runOne(wl, brc)
+			base = o.runOne(s, wl, brc)
 			baselines[key] = base
 		}
-		res := o.runOne(wl, rc)
+		res := o.runOne(s, wl, rc)
 		speedups = append(speedups, metrics.Speedup(base.Cycles, res.Cycles))
 		ptws = append(ptws, res.PTWRate)
 		l1s = append(l1s, res.L1MissRate)
@@ -439,7 +448,7 @@ func (o Options) runCells(cells []cell) ([]appResult, error) {
 				if err != nil {
 					return vmm.RunResult{}, err
 				}
-				return o.runOne(wl, s.rc), nil
+				return o.runOne(s.spec, wl, s.rc), nil
 			},
 		}
 	}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pccsim/internal/obs"
+	"pccsim/internal/trace"
+	"pccsim/internal/workloads"
+)
+
+// filterWallClock drops the pool's wall-clock gauges, which legitimately
+// vary run to run; everything else in a snapshot is deterministic.
+func filterWallClock(s obs.Snapshot) obs.Snapshot {
+	out := obs.Snapshot{}
+	for k, v := range s {
+		if strings.HasPrefix(k, "pool.task.seconds.") {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// TestTraceCacheDeterminism pins the cache's core contract: a grid over one
+// graph and one synthetic workload produces identical results and identical
+// (wall-clock-filtered) metrics snapshots whether streams are generated live
+// or replayed from recordings, at 1 worker and at 8.
+func TestTraceCacheDeterminism(t *testing.T) {
+	o, _ := tiny()
+	cells := []cell{
+		{app: "BFS", rc: runCfg{kind: polPCC, budgetPct: 25}},
+		{app: "mcf", rc: runCfg{kind: polPCC, budgetPct: 25}},
+	}
+	var want []appResult
+	var wantObs obs.Snapshot
+	for _, w := range []int{1, 8} {
+		for _, tc := range []int64{-1, 0} { // live emission, then cached replay
+			oo := o
+			oo.Workers = w
+			oo.TraceCache = tc
+			reg := obs.NewRegistry()
+			oo.Obs = reg
+			got, err := oo.runCells(cells)
+			if err != nil {
+				t.Fatalf("workers=%d cache=%d: %v", w, tc, err)
+			}
+			snap := filterWallClock(reg.Snapshot())
+			if want == nil {
+				want, wantObs = got, snap
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d cache=%d: results diverged from live single-worker run:\ngot  %+v\nwant %+v", w, tc, got, want)
+			}
+			if !reflect.DeepEqual(snap, wantObs) {
+				t.Errorf("workers=%d cache=%d: obs counters diverged: %v", w, tc, snap.Diff(wantObs))
+			}
+		}
+	}
+}
+
+// TestTraceCacheRecordsOnceAndFallsBack exercises the cache mechanics
+// directly: a hit returns a replay without re-invoking the generator, and a
+// stream over budget is served live, now and later.
+func TestTraceCacheRecordsOnceAndFallsBack(t *testing.T) {
+	c := newTraceCache()
+	spec := workloads.Spec{Name: "mcf", SizeScale: 0.02, Accesses: 50_000, Threads: 1}
+	wl, err := workloads.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	live := func() trace.Stream {
+		calls++
+		return wl.Stream()
+	}
+	st1 := c.stream("k", 1<<30, func() trace.Stream { return live() })
+	n1 := drainCount(st1)
+	st2 := c.stream("k", 1<<30, func() trace.Stream { return live() })
+	n2 := drainCount(st2)
+	if calls != 1 {
+		t.Errorf("generator invoked %d times, want 1 (second request must replay)", calls)
+	}
+	if n1 == 0 || n1 != n2 {
+		t.Errorf("replay length %d differs from recorded %d", n2, n1)
+	}
+	if recs, bytes := c.stats(); recs != 1 || bytes <= 0 {
+		t.Errorf("stats = (%d, %d), want one bounded recording", recs, bytes)
+	}
+
+	// A 1-byte budget cannot hold any recording: both requests serve live.
+	c2 := newTraceCache()
+	calls = 0
+	st3 := c2.stream("big", 1, func() trace.Stream { return live() })
+	drainCount(st3)
+	st4 := c2.stream("big", 1, func() trace.Stream { return live() })
+	drainCount(st4)
+	// First request consumes one stream recording (aborted) + one live
+	// stream; the second goes straight to live.
+	if calls != 3 {
+		t.Errorf("generator invoked %d times, want 3 (record attempt + 2 live fallbacks)", calls)
+	}
+}
+
+func drainCount(s trace.Stream) int {
+	defer workloads.CloseStream(s)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

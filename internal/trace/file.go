@@ -190,6 +190,36 @@ func (fs *FileStream) nextBinary() (Access, bool) {
 	}, true
 }
 
+// NextBatch implements BatchStream: one call decodes up to len(buf) records
+// (the readers are already buffered, so the per-record work is the decode
+// itself, without a per-access interface dispatch on top).
+func (fs *FileStream) NextBatch(buf []Access) int {
+	if fs.err != nil {
+		return 0
+	}
+	k := 0
+	if fs.binary != nil {
+		for k < len(buf) {
+			a, ok := fs.nextBinary()
+			if !ok {
+				break
+			}
+			buf[k] = a
+			k++
+		}
+		return k
+	}
+	for k < len(buf) {
+		a, ok := fs.Next()
+		if !ok {
+			break
+		}
+		buf[k] = a
+		k++
+	}
+	return k
+}
+
 // Err reports a malformed-input error, nil after a clean EOF.
 func (fs *FileStream) Err() error { return fs.err }
 

@@ -11,7 +11,27 @@ import (
 // purposes: (1) unit-testable streams with known TLB behaviour, and (2) the
 // locality models behind the PARSEC/SPEC-like workloads (canneal, omnetpp,
 // xalancbmk, dedup, mcf), whose binaries and Pin traces are unavailable here.
-// Each generator is deterministic given its *rand.Rand.
+// Each generator is deterministic given its *rand.Rand, and each fills
+// batches natively: the per-access work is a loop body, not a closure call
+// behind an interface dispatch.
+
+// gen adapts a bulk fill function into a batch-capable Stream. fill writes
+// up to len(buf) accesses and returns how many; 0 means exhausted.
+type gen struct {
+	fill func(buf []Access) int
+}
+
+// Next implements Stream.
+func (g *gen) Next() (Access, bool) {
+	var one [1]Access
+	if g.fill(one[:]) == 0 {
+		return Access{}, false
+	}
+	return one[0], true
+}
+
+// NextBatch implements BatchStream.
+func (g *gen) NextBatch(buf []Access) int { return g.fill(buf) }
 
 // Sequential emits n accesses walking a range with the given byte stride,
 // wrapping around. Maximal spatial locality: the TLB-friendly extreme.
@@ -20,14 +40,15 @@ func Sequential(base mem.VirtAddr, size uint64, stride uint64, n uint64) Stream 
 		stride = 8
 	}
 	var i uint64
-	return Func(func() (Access, bool) {
-		if i >= n {
-			return Access{}, false
+	return &gen{fill: func(buf []Access) int {
+		k := 0
+		for k < len(buf) && i < n {
+			buf[k] = Access{Addr: base + mem.VirtAddr((i*stride)%size)}
+			i++
+			k++
 		}
-		a := base + mem.VirtAddr((i*stride)%size)
-		i++
-		return Access{Addr: a}, true
-	})
+		return k
+	}}
 }
 
 // UniformRandom emits n accesses uniformly distributed over [base,
@@ -35,13 +56,15 @@ func Sequential(base mem.VirtAddr, size uint64, stride uint64, n uint64) Stream 
 // size exceeds huge-TLB reach.
 func UniformRandom(base mem.VirtAddr, size uint64, n uint64, rng *rand.Rand) Stream {
 	var i uint64
-	return Func(func() (Access, bool) {
-		if i >= n {
-			return Access{}, false
+	return &gen{fill: func(buf []Access) int {
+		k := 0
+		for k < len(buf) && i < n {
+			buf[k] = Access{Addr: base + mem.VirtAddr(rng.Uint64()%size)}
+			i++
+			k++
 		}
-		i++
-		return Access{Addr: base + mem.VirtAddr(rng.Uint64()%size)}, true
-	})
+		return k
+	}}
 }
 
 // Zipf emits n accesses over size bytes where 8-byte elements are drawn from
@@ -63,15 +86,16 @@ func Zipf(base mem.VirtAddr, size uint64, s float64, n uint64, rng *rand.Rand) S
 	// giant permutation table.
 	const mul = 0x9E3779B97F4A7C15
 	var i uint64
-	return Func(func() (Access, bool) {
-		if i >= n {
-			return Access{}, false
+	return &gen{fill: func(buf []Access) int {
+		k := 0
+		for k < len(buf) && i < n {
+			idx := (z.Uint64() * mul) % elems
+			buf[k] = Access{Addr: base + mem.VirtAddr(idx*8)}
+			i++
+			k++
 		}
-		i++
-		rank := z.Uint64()
-		idx := (rank * mul) % elems
-		return Access{Addr: base + mem.VirtAddr(idx*8)}, true
-	})
+		return k
+	}}
 }
 
 // HotCold emits n accesses where fraction hotFrac of them go to the first
@@ -83,16 +107,19 @@ func HotCold(base mem.VirtAddr, size, hotBytes uint64, hotFrac float64, n uint64
 		hotBytes = size
 	}
 	var i uint64
-	return Func(func() (Access, bool) {
-		if i >= n {
-			return Access{}, false
+	return &gen{fill: func(buf []Access) int {
+		k := 0
+		for k < len(buf) && i < n {
+			if rng.Float64() < hotFrac {
+				buf[k] = Access{Addr: base + mem.VirtAddr(rng.Uint64()%hotBytes)}
+			} else {
+				buf[k] = Access{Addr: base + mem.VirtAddr(rng.Uint64()%size)}
+			}
+			i++
+			k++
 		}
-		i++
-		if rng.Float64() < hotFrac {
-			return Access{Addr: base + mem.VirtAddr(rng.Uint64()%hotBytes)}, true
-		}
-		return Access{Addr: base + mem.VirtAddr(rng.Uint64()%size)}, true
-	})
+		return k
+	}}
 }
 
 // PointerChase emits n accesses following a precomputed random cycle of
@@ -118,20 +145,30 @@ func PointerChase(base mem.VirtAddr, size uint64, n uint64, rng *rand.Rand) Stre
 	}
 	cur := 0
 	var i uint64
-	return Func(func() (Access, bool) {
-		if i >= n {
-			return Access{}, false
+	return &gen{fill: func(buf []Access) int {
+		k := 0
+		for k < len(buf) && i < n {
+			buf[k] = Access{Addr: base + mem.VirtAddr(uint64(cur)*64)}
+			cur = next[cur]
+			i++
+			k++
 		}
-		i++
-		a := base + mem.VirtAddr(uint64(cur)*64)
-		cur = next[cur]
-		return Access{Addr: a}, true
-	})
+		return k
+	}}
 }
 
 // Phased concatenates the phases, modelling applications whose locality
 // changes over time (§3.3.3's application-phases discussion).
 func Phased(phases ...Stream) Stream { return Concat(phases...) }
+
+// mixStream interleaves streams probabilistically; see Mix.
+type mixStream struct {
+	rng     *rand.Rand
+	weights []float64
+	streams []Stream
+	live    []bool
+	total   float64
+}
 
 // Mix interleaves streams probabilistically: each access is drawn from
 // stream i with probability weights[i]/sum(weights). A stream that ends is
@@ -140,40 +177,70 @@ func Mix(rng *rand.Rand, weights []float64, streams ...Stream) Stream {
 	if len(weights) != len(streams) {
 		panic("trace: Mix weights/streams length mismatch")
 	}
-	live := make([]bool, len(streams))
-	total := 0.0
+	m := &mixStream{
+		rng:     rng,
+		weights: weights,
+		streams: streams,
+		live:    make([]bool, len(streams)),
+	}
 	for i, w := range weights {
 		if w < 0 || math.IsNaN(w) {
 			panic("trace: Mix weight must be non-negative")
 		}
-		live[i] = true
-		total += w
+		m.live[i] = true
+		m.total += w
 	}
-	return Func(func() (Access, bool) {
-		for total > 0 {
-			r := rng.Float64() * total
-			pick := -1
-			for i := range streams {
-				if !live[i] {
-					continue
+	return m
+}
+
+// Next implements Stream.
+func (m *mixStream) Next() (Access, bool) {
+	for m.total > 0 {
+		r := m.rng.Float64() * m.total
+		pick := -1
+		for i := range m.streams {
+			if !m.live[i] {
+				continue
+			}
+			if r < m.weights[i] || pick == -1 {
+				pick = i
+				if r < m.weights[i] {
+					break
 				}
-				if r < weights[i] || pick == -1 {
-					pick = i
-					if r < weights[i] {
-						break
-					}
-				}
-				r -= weights[i]
 			}
-			if pick < 0 {
-				return Access{}, false
-			}
-			if a, ok := streams[pick].Next(); ok {
-				return a, true
-			}
-			live[pick] = false
-			total -= weights[pick]
+			r -= m.weights[i]
 		}
-		return Access{}, false
-	})
+		if pick < 0 {
+			return Access{}, false
+		}
+		if a, ok := m.streams[pick].Next(); ok {
+			return a, true
+		}
+		m.live[pick] = false
+		m.total -= m.weights[pick]
+	}
+	return Access{}, false
+}
+
+// NextBatch implements BatchStream. Each access still draws its source
+// stream individually (the lottery is inherently per-access), but the batch
+// body avoids the outer interface dispatch per access.
+func (m *mixStream) NextBatch(buf []Access) int {
+	k := 0
+	for k < len(buf) {
+		a, ok := m.Next()
+		if !ok {
+			break
+		}
+		buf[k] = a
+		k++
+	}
+	return k
+}
+
+// Close closes every component stream that supports closing.
+func (m *mixStream) Close() {
+	for _, s := range m.streams {
+		closeStream(s)
+	}
 }

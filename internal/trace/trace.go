@@ -5,7 +5,9 @@
 //
 // A stream is pull-based: the virtual machine monitor asks for the next
 // access. This keeps memory bounded — multi-gigabyte-equivalent traces are
-// never materialized.
+// never materialized. Streams that can produce accesses in bulk additionally
+// implement BatchStream, which the simulator prefers: one NextBatch call
+// replaces thousands of per-access interface dispatches on the hot path.
 package trace
 
 import (
@@ -29,94 +31,283 @@ type Stream interface {
 	Next() (Access, bool)
 }
 
+// BatchStream is a Stream that can also fill a caller-provided buffer in
+// bulk. NextBatch writes up to len(buf) accesses into buf and returns how
+// many were written; 0 means the stream is exhausted (a zero-length buf also
+// returns 0 without consuming anything). The accesses come in exactly the
+// order Next would have produced them, and callers may mix Next and
+// NextBatch calls freely.
+type BatchStream interface {
+	Stream
+	NextBatch(buf []Access) int
+}
+
+// Batched adapts any Stream to BatchStream. Streams that already implement
+// NextBatch are returned unchanged; others get a loop adapter (which still
+// amortizes the consumer's dispatch, though not the producer's).
+func Batched(s Stream) BatchStream {
+	if bs, ok := s.(BatchStream); ok {
+		return bs
+	}
+	return &batched{s: s}
+}
+
+// batched is the loop adapter behind Batched.
+type batched struct{ s Stream }
+
+// Next implements Stream.
+func (b *batched) Next() (Access, bool) { return b.s.Next() }
+
+// NextBatch implements BatchStream.
+func (b *batched) NextBatch(buf []Access) int {
+	for i := range buf {
+		a, ok := b.s.Next()
+		if !ok {
+			return i
+		}
+		buf[i] = a
+	}
+	return len(buf)
+}
+
+// Close forwards to the wrapped stream when it supports closing.
+func (b *batched) Close() { closeStream(b.s) }
+
+// closeStream closes s if it supports either closing signature (emitter
+// streams use Close(); file streams use Close() error).
+func closeStream(s Stream) {
+	switch c := s.(type) {
+	case interface{ Close() }:
+		c.Close()
+	case interface{ Close() error }:
+		_ = c.Close()
+	}
+}
+
 // Func adapts a closure into a Stream.
 type Func func() (Access, bool)
 
 // Next implements Stream.
 func (f Func) Next() (Access, bool) { return f() }
 
-// Limit wraps s, truncating it after n accesses.
-func Limit(s Stream, n uint64) Stream {
-	var seen uint64
-	return Func(func() (Access, bool) {
-		if seen >= n {
-			return Access{}, false
+// NextBatch implements BatchStream by looping the closure, so every
+// Func-based stream is batch-capable (the consumer-side dispatch is
+// amortized; generators with a native bulk fill go further).
+func (f Func) NextBatch(buf []Access) int {
+	for i := range buf {
+		a, ok := f()
+		if !ok {
+			return i
 		}
-		a, ok := s.Next()
-		if ok {
-			seen++
-		}
-		return a, ok
-	})
+		buf[i] = a
+	}
+	return len(buf)
 }
 
-// Concat yields each stream in order.
-func Concat(streams ...Stream) Stream {
-	i := 0
-	return Func(func() (Access, bool) {
-		for i < len(streams) {
-			if a, ok := streams[i].Next(); ok {
-				return a, ok
-			}
-			i++
-		}
+// limitStream truncates a stream after n accesses; see Limit.
+type limitStream struct {
+	s    BatchStream
+	n    uint64
+	seen uint64
+}
+
+// Limit wraps s, truncating it after n accesses. The returned stream is
+// batch-capable and keeps the truncation exact at batch boundaries: a batch
+// request spanning the limit is clipped to exactly the remaining count.
+func Limit(s Stream, n uint64) Stream {
+	return &limitStream{s: Batched(s), n: n}
+}
+
+// Next implements Stream.
+func (l *limitStream) Next() (Access, bool) {
+	if l.seen >= l.n {
 		return Access{}, false
-	})
+	}
+	a, ok := l.s.Next()
+	if ok {
+		l.seen++
+	}
+	return a, ok
+}
+
+// NextBatch implements BatchStream.
+func (l *limitStream) NextBatch(buf []Access) int {
+	remaining := l.n - l.seen
+	if remaining == 0 {
+		return 0
+	}
+	if uint64(len(buf)) > remaining {
+		buf = buf[:remaining]
+	}
+	k := l.s.NextBatch(buf)
+	l.seen += uint64(k)
+	return k
+}
+
+// Close forwards to the wrapped stream when it supports closing.
+func (l *limitStream) Close() { closeStream(l.s) }
+
+// concatStream yields each stream in order; see Concat.
+type concatStream struct {
+	streams []BatchStream
+	i       int
+}
+
+// Concat yields each stream in order. The result is batch-capable, and
+// closing it closes every sub-stream that supports closing (so abandoning a
+// concatenated emitter stream terminates its producer goroutines).
+func Concat(streams ...Stream) Stream {
+	c := &concatStream{streams: make([]BatchStream, len(streams))}
+	for i, s := range streams {
+		c.streams[i] = Batched(s)
+	}
+	return c
+}
+
+// Next implements Stream.
+func (c *concatStream) Next() (Access, bool) {
+	for c.i < len(c.streams) {
+		if a, ok := c.streams[c.i].Next(); ok {
+			return a, ok
+		}
+		c.i++
+	}
+	return Access{}, false
+}
+
+// NextBatch implements BatchStream.
+func (c *concatStream) NextBatch(buf []Access) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	for c.i < len(c.streams) {
+		if k := c.streams[c.i].NextBatch(buf); k > 0 {
+			return k
+		}
+		c.i++
+	}
+	return 0
+}
+
+// Close closes every sub-stream that supports closing.
+func (c *concatStream) Close() {
+	for _, s := range c.streams {
+		closeStream(s)
+	}
+}
+
+// interleaveStream merges per-thread streams; see Interleave.
+type interleaveStream struct {
+	chunk     int
+	streams   []BatchStream
+	done      []bool
+	cur       int
+	inChunk   int
+	remaining int
 }
 
 // Interleave merges per-thread streams by switching threads every chunk
 // accesses, modelling concurrently executing cores as seen by a shared
 // simulation clock. Exhausted streams drop out; the merge ends when all do.
-// Each access is stamped with its stream index as the thread id.
+// Each access is stamped with its stream index as the thread id. The result
+// is batch-capable: one NextBatch call hands back up to a chunk's worth of
+// the current stream before rotating.
 func Interleave(chunk int, streams ...Stream) Stream {
 	if chunk <= 0 {
 		chunk = 1
 	}
-	live := make([]Stream, len(streams))
-	copy(live, streams)
-	done := make([]bool, len(streams))
-	cur, inChunk, remaining := 0, 0, len(streams)
-	return Func(func() (Access, bool) {
-		for remaining > 0 {
-			if done[cur] || inChunk >= chunk {
-				inChunk = 0
-				// advance to next live stream
-				for i := 0; i < len(live); i++ {
-					cur = (cur + 1) % len(live)
-					if !done[cur] {
-						break
-					}
-				}
-				if done[cur] {
-					return Access{}, false
-				}
-			}
-			a, ok := live[cur].Next()
-			if !ok {
-				done[cur] = true
-				remaining--
-				inChunk = chunk // force switch
-				continue
-			}
-			inChunk++
-			a.Thread = cur
-			return a, true
-		}
-		return Access{}, false
-	})
+	il := &interleaveStream{
+		chunk:     chunk,
+		streams:   make([]BatchStream, len(streams)),
+		done:      make([]bool, len(streams)),
+		remaining: len(streams),
+	}
+	for i, s := range streams {
+		il.streams[i] = Batched(s)
+	}
+	return il
 }
 
-// Slice returns a Stream over a materialized access list (tests and tools).
-func Slice(accesses []Access) Stream {
-	i := 0
-	return Func(func() (Access, bool) {
-		if i >= len(accesses) {
-			return Access{}, false
+// Next implements Stream.
+func (il *interleaveStream) Next() (Access, bool) {
+	var one [1]Access
+	if il.NextBatch(one[:]) == 0 {
+		return Access{}, false
+	}
+	return one[0], true
+}
+
+// NextBatch implements BatchStream.
+func (il *interleaveStream) NextBatch(buf []Access) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	for il.remaining > 0 {
+		if il.done[il.cur] || il.inChunk >= il.chunk {
+			il.inChunk = 0
+			// advance to next live stream
+			for i := 0; i < len(il.streams); i++ {
+				il.cur = (il.cur + 1) % len(il.streams)
+				if !il.done[il.cur] {
+					break
+				}
+			}
+			if il.done[il.cur] {
+				return 0
+			}
 		}
-		a := accesses[i]
-		i++
-		return a, true
-	})
+		want := il.chunk - il.inChunk
+		if want > len(buf) {
+			want = len(buf)
+		}
+		k := il.streams[il.cur].NextBatch(buf[:want])
+		if k == 0 {
+			il.done[il.cur] = true
+			il.remaining--
+			il.inChunk = il.chunk // force switch
+			continue
+		}
+		for i := 0; i < k; i++ {
+			buf[i].Thread = il.cur
+		}
+		il.inChunk += k
+		return k
+	}
+	return 0
+}
+
+// Close closes every sub-stream that supports closing.
+func (il *interleaveStream) Close() {
+	for _, s := range il.streams {
+		closeStream(s)
+	}
+}
+
+// sliceStream replays a materialized access list; see Slice.
+type sliceStream struct {
+	acc []Access
+	i   int
+}
+
+// Slice returns a batch-capable Stream over a materialized access list
+// (tests, tools, and the vmm benchmarks).
+func Slice(accesses []Access) Stream { return &sliceStream{acc: accesses} }
+
+// Next implements Stream.
+func (s *sliceStream) Next() (Access, bool) {
+	if s.i >= len(s.acc) {
+		return Access{}, false
+	}
+	a := s.acc[s.i]
+	s.i++
+	return a, true
+}
+
+// NextBatch implements BatchStream.
+func (s *sliceStream) NextBatch(buf []Access) int {
+	k := copy(buf, s.acc[s.i:])
+	s.i += k
+	return k
 }
 
 // Collect drains up to max accesses from s into a slice (tests and tools;
@@ -135,11 +326,14 @@ func Collect(s Stream, max int) []Access {
 
 // Count drains s, returning the number of accesses (tests).
 func Count(s Stream) uint64 {
+	bs := Batched(s)
+	var buf [1024]Access
 	var n uint64
 	for {
-		if _, ok := s.Next(); !ok {
+		k := bs.NextBatch(buf[:])
+		if k == 0 {
 			return n
 		}
-		n++
+		n += uint64(k)
 	}
 }

@@ -78,6 +78,24 @@ func BenchmarkStep(b *testing.B) { benchmarkStep(b, false) }
 // BenchmarkStep2M is the same pattern with every region promoted to 2MB.
 func BenchmarkStep2M(b *testing.B) { benchmarkStep(b, true) }
 
+// BenchmarkRunStream measures the end-to-end Run pipeline — batch draining,
+// tick segmentation, and the per-access step — fed by a live generator
+// rather than a materialized slice, the shape every experiment run has.
+// ns/op is ns per simulated access.
+func BenchmarkRunStream(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Phys = physmem.Config{TotalBytes: 512 << 21, MovableFillRatio: 0.5}
+	cfg.PromotionInterval = 100_000
+	m := NewMachine(cfg, nil)
+	p := m.AddProcess("bench", testVMA(64), 0)
+	r := p.Ranges()[0]
+	// Warm first-touch faults so the timed run measures translation.
+	m.Run(&Job{Proc: p, Stream: trace.Sequential(r.Start, uint64(r.Len()), uint64(mem.Page4K), uint64(r.Len())>>12)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run(&Job{Proc: p, Stream: trace.Sequential(r.Start, uint64(r.Len()), 64, uint64(b.N))})
+}
+
 // BenchmarkVmaOf measures the VMA lookup alone on a 24-VMA address space with
 // run-based locality (the pattern real streams exhibit: long runs inside one
 // VMA, occasional jumps).

@@ -8,6 +8,7 @@ import (
 	"pccsim/internal/mem"
 	"pccsim/internal/obs"
 	"pccsim/internal/physmem"
+	"pccsim/internal/trace"
 )
 
 // Policy is the OS huge page management strategy plugged into the machine.
@@ -55,6 +56,10 @@ type Machine struct {
 	// events is the bounded event trace (nil when Config.EventLogSize is 0;
 	// every record through a nil log is a no-op).
 	events *obs.EventLog
+
+	// batchBuf is Run's batch-drain buffer, allocated on first use and
+	// reused across Run calls (benchmarks re-Run one machine many times).
+	batchBuf []trace.Access
 }
 
 // TestForceAudit, when true, forces AuditEveryTick on for every machine

@@ -66,9 +66,16 @@ type ProcResult struct {
 // Run drives the machine until every job's stream is exhausted. It may be
 // called once per machine (state accumulates; build a fresh machine per
 // experiment run).
+//
+// Streams are drained in batches (see trace.BatchStream): the per-access
+// body is a plain loop over a buffer, with the promotion-tick check hoisted
+// to batch-segment boundaries and the thread-to-core dispatch hoisted
+// entirely for single-core jobs. Access order — and therefore every result —
+// is identical to the historical one-Next-per-access loop.
 func (m *Machine) Run(jobs ...*Job) RunResult {
 	type liveJob struct {
 		*Job
+		stream   trace.BatchStream
 		accesses uint64
 		done     bool
 	}
@@ -82,36 +89,36 @@ func (m *Machine) Run(jobs ...*Job) RunResult {
 				panic(fmt.Sprintf("vmm: job core %d out of range", c))
 			}
 		}
-		live[i] = &liveJob{Job: j}
+		live[i] = &liveJob{Job: j, stream: trace.Batched(j.Stream)}
 	}
 
+	if m.batchBuf == nil {
+		m.batchBuf = make([]trace.Access, jobSlice)
+	}
+	buf := m.batchBuf
 	remaining := len(live)
 	for remaining > 0 {
 		for _, j := range live {
 			if j.done {
 				continue
 			}
-			for i := 0; i < jobSlice; i++ {
-				a, ok := j.Stream.Next()
-				if !ok {
+			// Advance this job by exactly jobSlice accesses (short batches
+			// from chunked producers are re-requested) before rotating to
+			// the next live job — the same interleaving the per-access loop
+			// produced.
+			slice := jobSlice
+			for slice > 0 {
+				n := j.stream.NextBatch(buf[:slice])
+				if n == 0 {
 					j.done = true
 					remaining--
 					j.Proc.finished = true
 					j.Proc.RuntimeCycles = m.maxCycles(j.Cores)
 					break
 				}
-				core := m.cores[j.Cores[a.Thread%len(j.Cores)]]
-				m.step(core, j.Proc, a.Addr)
-				j.accesses++
-				if m.accessCount >= m.nextTick {
-					m.nextTick += m.cfg.PromotionInterval
-					if m.policy != nil {
-						m.policy.Tick(m)
-					}
-					if m.cfg.AuditEveryTick {
-						m.auditNow("after policy tick")
-					}
-				}
+				slice -= n
+				j.accesses += uint64(n)
+				m.runBatch(j.Job, buf[:n])
 			}
 		}
 	}
@@ -151,6 +158,42 @@ func (m *Machine) Run(jobs ...*Job) RunResult {
 		})
 	}
 	return res
+}
+
+// runBatch simulates one batch of accesses for j, firing policy ticks at
+// exactly the per-access points the unbatched loop did: the global access
+// clock only advances inside step, so the distance to the next tick bounds
+// a segment that needs no per-access tick check.
+func (m *Machine) runBatch(j *Job, batch []trace.Access) {
+	var single *Core
+	if len(j.Cores) == 1 {
+		single = m.cores[j.Cores[0]]
+	}
+	for len(batch) > 0 {
+		seg := batch
+		if until := m.nextTick - m.accessCount; uint64(len(seg)) > until {
+			seg = seg[:until]
+		}
+		if single != nil {
+			for i := range seg {
+				m.step(single, j.Proc, seg[i].Addr)
+			}
+		} else {
+			for i := range seg {
+				m.step(m.cores[j.Cores[seg[i].Thread%len(j.Cores)]], j.Proc, seg[i].Addr)
+			}
+		}
+		batch = batch[len(seg):]
+		if m.accessCount >= m.nextTick {
+			m.nextTick += m.cfg.PromotionInterval
+			if m.policy != nil {
+				m.policy.Tick(m)
+			}
+			if m.cfg.AuditEveryTick {
+				m.auditNow("after policy tick")
+			}
+		}
+	}
 }
 
 // maxCycles returns the max cycle count across the given core IDs.

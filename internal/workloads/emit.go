@@ -24,6 +24,10 @@ type E struct {
 	buf  []trace.Access
 	ch   chan []trace.Access
 	stop chan struct{}
+	// free recycles fully-consumed chunks back from the consumer, so
+	// steady-state emission allocates nothing: the producer only falls back
+	// to make() while the free list warms up.
+	free chan []trace.Access
 }
 
 type stopEmission struct{}
@@ -56,13 +60,20 @@ func (e *E) flush() {
 	case <-e.stop:
 		panic(stopEmission{})
 	}
-	e.buf = make([]trace.Access, 0, chunkSize)
+	select {
+	case b := <-e.free:
+		e.buf = b
+	default:
+		e.buf = make([]trace.Access, 0, chunkSize)
+	}
 }
 
-// emitterStream adapts the producer goroutine to trace.Stream.
+// emitterStream adapts the producer goroutine to trace.Stream and
+// trace.BatchStream.
 type emitterStream struct {
 	ch   chan []trace.Access
 	stop chan struct{}
+	free chan []trace.Access
 	cur  []trace.Access
 	pos  int
 	done bool
@@ -70,14 +81,17 @@ type emitterStream struct {
 
 // NewStream runs body in a producer goroutine and returns the resulting
 // access stream. The stream implements Close(); closing it early unblocks
-// and terminates the producer.
+// and terminates the producer. It also implements trace.BatchStream: the
+// internal 16K-access chunks are handed to NextBatch callers as bulk
+// copies instead of being flattened back into one-at-a-time Next calls.
 func NewStream(body func(*E)) trace.Stream {
 	s := &emitterStream{
 		ch:   make(chan []trace.Access, 4),
 		stop: make(chan struct{}),
+		free: make(chan []trace.Access, 8),
 	}
 	go func() {
-		e := &E{buf: make([]trace.Access, 0, chunkSize), ch: s.ch, stop: s.stop}
+		e := &E{buf: make([]trace.Access, 0, chunkSize), ch: s.ch, stop: s.stop, free: s.free}
 		defer close(s.ch)
 		defer func() {
 			if r := recover(); r != nil {
@@ -92,12 +106,25 @@ func NewStream(body func(*E)) trace.Stream {
 	return s
 }
 
+// recycle returns the fully-consumed current chunk to the producer's free
+// list (dropped if the list is full) and clears the cursor.
+func (s *emitterStream) recycle() {
+	select {
+	case s.free <- s.cur[:0]:
+	default:
+	}
+	s.cur, s.pos = nil, 0
+}
+
 // Next implements trace.Stream.
 func (s *emitterStream) Next() (trace.Access, bool) {
 	for {
 		if s.pos < len(s.cur) {
 			a := s.cur[s.pos]
 			s.pos++
+			if s.pos == len(s.cur) {
+				s.recycle()
+			}
 			return a, true
 		}
 		if s.done {
@@ -107,6 +134,33 @@ func (s *emitterStream) Next() (trace.Access, bool) {
 		if !ok {
 			s.done = true
 			return trace.Access{}, false
+		}
+		s.cur, s.pos = chunk, 0
+	}
+}
+
+// NextBatch implements trace.BatchStream: it hands out the buffered chunk in
+// bulk (one copy per call instead of one interface dispatch per access).
+func (s *emitterStream) NextBatch(buf []trace.Access) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	for {
+		if s.pos < len(s.cur) {
+			k := copy(buf, s.cur[s.pos:])
+			s.pos += k
+			if s.pos == len(s.cur) {
+				s.recycle()
+			}
+			return k
+		}
+		if s.done {
+			return 0
+		}
+		chunk, ok := <-s.ch
+		if !ok {
+			s.done = true
+			return 0
 		}
 		s.cur, s.pos = chunk, 0
 	}

@@ -1,0 +1,64 @@
+#!/bin/sh
+# benchdiff.sh — compare named hot-path benchmarks between the working tree
+# (HEAD plus uncommitted changes) and a baseline git ref, checked out into a
+# throwaway worktree so the comparison never disturbs the working tree.
+#
+# Usage:
+#   scripts/benchdiff.sh <ref> [bench-regex] [packages...]
+#
+# Defaults: bench-regex 'Step|RunStream|EmitChunk', packages
+# ./internal/vmm ./internal/workloads. Examples:
+#
+#   scripts/benchdiff.sh HEAD~1
+#   scripts/benchdiff.sh 3efe74e 'RunStream' ./internal/vmm
+#
+# Output is a before/after table of ns/op (and B/op, allocs/op as reported
+# by -benchmem). Pass BENCHTIME=5s to change the per-benchmark budget.
+set -eu
+
+ref=${1:?usage: scripts/benchdiff.sh <ref> [bench-regex] [packages...]}
+regex=${2:-'Step|RunStream|EmitChunk'}
+if [ $# -ge 2 ]; then shift 2; else shift $#; fi
+pkgs=${*:-"./internal/vmm ./internal/workloads"}
+benchtime=${BENCHTIME:-2s}
+
+root=$(git rev-parse --show-toplevel)
+cd "$root"
+
+run_bench() (
+    cd "$1"
+    # -run ^$ skips tests; count=1 keeps the table one line per benchmark.
+    # shellcheck disable=SC2086 — word-splitting of $pkgs is intended.
+    go test -run '^$' -bench "$regex" -benchmem -benchtime "$benchtime" -count 1 $pkgs 2>/dev/null |
+        awk '/^Benchmark/ { sub(/-[0-9]+$/, "", $1); $2 = ""; print }'
+)
+
+wt=$(mktemp -d "${TMPDIR:-/tmp}/benchdiff.XXXXXX")
+cleanup() {
+    git worktree remove --force "$wt/base" 2>/dev/null || true
+    rm -rf "$wt"
+}
+trap cleanup EXIT INT TERM
+
+echo "benchdiff: baseline $ref vs working tree ($(git rev-parse --short HEAD)+dirty?)" >&2
+git worktree add --detach --quiet "$wt/base" "$ref"
+
+before=$(run_bench "$wt/base")
+after=$(run_bench "$root")
+
+echo
+echo "== before ($ref) =="
+echo "$before"
+echo
+echo "== after (working tree) =="
+echo "$after"
+echo
+echo "== delta (ns/op) =="
+printf '%s\n' "$before" | while read -r name rest; do
+    b=$(printf '%s\n' "$before" | awk -v n="$name" '$1 == n { print $2 }')
+    a=$(printf '%s\n' "$after"  | awk -v n="$name" '$1 == n { print $2 }')
+    [ -n "$a" ] && [ -n "$b" ] || continue
+    awk -v n="$name" -v b="$b" -v a="$a" 'BEGIN {
+        printf "%-32s %12.2f -> %12.2f   %+6.1f%%\n", n, b, a, (a - b) / b * 100
+    }'
+done
