@@ -34,6 +34,26 @@ func BenchmarkRecordChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkPCCRecord measures the insert path under the mixed regime the
+// walker produces in practice: a hot set that hits (and periodically
+// saturates into decay) plus a cold tail that evicts.
+func BenchmarkPCCRecord(b *testing.B) {
+	p := New(DefaultConfig2M())
+	addrs := make([]mem.VirtAddr, 512)
+	for i := range addrs {
+		if i%4 == 0 {
+			addrs[i] = addr2M(uint64(1000 + i)) // cold tail: insert/evict
+		} else {
+			addrs[i] = addr2M(uint64(i % 96)) // hot set: counter hits
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Record(addrs[i%len(addrs)])
+	}
+}
+
 // BenchmarkDump measures the ranked candidate dump of a full PCC.
 func BenchmarkDump(b *testing.B) {
 	p := New(DefaultConfig2M())

@@ -115,6 +115,11 @@ type PCC struct {
 	entries []entry
 	tick    uint64
 	stats   Stats
+
+	// order is the scratch ranking buffer Dump reuses: dumps fire every
+	// policy tick in every run, and rebuilding the index slice (plus a
+	// sort closure) each time was measurable allocation churn.
+	order []int
 }
 
 // New builds a PCC. It panics on invalid configuration (static hardware
@@ -234,22 +239,16 @@ func (p *PCC) decay() {
 // for the OS, in priority order.
 func (p *PCC) Dump() []Candidate {
 	p.stats.Dumps++
-	order := make([]int, 0, len(p.entries))
+	p.order = p.order[:0]
 	for i := range p.entries {
 		if p.entries[i].valid {
-			order = append(order, i)
+			p.order = append(p.order, i)
 		}
 	}
-	sort.Slice(order, func(x, y int) bool {
-		a, b := &p.entries[order[x]], &p.entries[order[y]]
-		if a.freq != b.freq {
-			return a.freq > b.freq
-		}
-		return a.lastUse > b.lastUse
-	})
-	out := make([]Candidate, len(order))
+	sort.Sort((*byRank)(p))
+	out := make([]Candidate, len(p.order))
 	shift := p.cfg.RegionSize.Shift()
-	for i, idx := range order {
+	for i, idx := range p.order {
 		e := &p.entries[idx]
 		out[i] = Candidate{
 			Region: mem.Region{Base: mem.VirtAddr(uint64(e.tag) << shift), Size: p.cfg.RegionSize},
@@ -257,6 +256,22 @@ func (p *PCC) Dump() []Candidate {
 		}
 	}
 	return out
+}
+
+// byRank sorts a PCC's scratch order slice by descending frequency with
+// recency as the tie-break. It is a named conversion of PCC (not a closure)
+// so Dump sorts without allocating; the ranking keys are unique — lastUse
+// stamps come from distinct ticks — so the sort result is deterministic.
+type byRank PCC
+
+func (r *byRank) Len() int      { return len(r.order) }
+func (r *byRank) Swap(x, y int) { r.order[x], r.order[y] = r.order[y], r.order[x] }
+func (r *byRank) Less(x, y int) bool {
+	a, b := &r.entries[r.order[x]], &r.entries[r.order[y]]
+	if a.freq != b.freq {
+		return a.freq > b.freq
+	}
+	return a.lastUse > b.lastUse
 }
 
 // Regions returns the tracked regions in insertion-slot order, without

@@ -52,9 +52,12 @@ func (l Level) Span() uint64 {
 func (l Level) shift() uint { return 12 + 9*uint(l-1) }
 
 // node is one page-table page: 512 entries plus their accessed bits.
-// Children are allocated lazily as the simulated address space is touched.
+// Children are identified by index into the owning Table's node arena;
+// 0 means "no child" (slot 0 is always the root, which can never be a
+// child). Child nodes are allocated lazily as the simulated address space
+// is touched.
 type node struct {
-	children [512]*node // nil at leaf level or when not yet populated
+	children [512]int32 // 0 at leaf level or when not yet populated
 	accessed [512]bool  // hardware accessed bit per entry
 	present  [512]bool  // entry exists (backed memory)
 	isLeaf   [512]bool  // entry terminates the walk (huge page or PTE)
@@ -64,8 +67,16 @@ type node struct {
 // region, whether the mapping exists and at what size, and maintains
 // accessed bits at every level exactly like the hardware: a walk sets the
 // accessed bit of every entry it traverses.
+//
+// Nodes are slab-allocated in one contiguous arena and linked by int32
+// indices instead of pointers: the PGD→PTE walk — the simulator's hottest
+// miss path — becomes index arithmetic over a single slice, so the four
+// dependent loads stay inside one allocation instead of chasing pointers
+// across the heap, and the table adds no per-node GC scan work (the node
+// struct is pointer-free).
 type Table struct {
-	root *node
+	nodes []node  // nodes[0] is the PGD root
+	free  []int32 // slots recycled from collapsed subtrees
 
 	// mapped pages by size, for accounting.
 	count4K uint64
@@ -75,7 +86,26 @@ type Table struct {
 
 // NewTable returns an empty page table.
 func NewTable() *Table {
-	return &Table{root: &node{}}
+	return &Table{nodes: make([]node, 1, 64)}
+}
+
+// alloc returns a zeroed node slot, reusing collapsed-subtree slots before
+// growing the arena. Callers must re-derive any *node pointers after calling
+// alloc: growing the arena may move it.
+func (t *Table) alloc() int32 {
+	if n := len(t.free); n > 0 {
+		ci := t.free[n-1]
+		t.free = t.free[:n-1]
+		return ci
+	}
+	t.nodes = append(t.nodes, node{})
+	return int32(len(t.nodes) - 1)
+}
+
+// freeNode zeroes a collapsed node's slot and makes it reusable.
+func (t *Table) freeNode(ci int32) {
+	t.nodes[ci] = node{}
+	t.free = append(t.free, ci)
 }
 
 func index(a mem.VirtAddr, l Level) int {
@@ -91,27 +121,31 @@ func index(a mem.VirtAddr, l Level) int {
 func (t *Table) Map(a mem.VirtAddr, size mem.PageSize) {
 	a = mem.PageBase(a, size)
 	leafLevel := leafFor(size)
-	n := t.root
+	ni := int32(0)
 	for l := PGD; l > leafLevel; l-- {
 		i := index(a, l)
+		n := &t.nodes[ni]
 		if n.isLeaf[i] {
 			panic(fmt.Sprintf("ptw: mapping %v at %#x conflicts with huge leaf at %v", size, uint64(a), l))
 		}
-		if n.children[i] == nil {
-			n.children[i] = &node{}
+		if n.children[i] == 0 {
+			ci := t.alloc()
+			n = &t.nodes[ni] // alloc may have grown the arena
+			n.children[i] = ci
 			n.present[i] = true
 		}
-		n = n.children[i]
+		ni = n.children[i]
 	}
+	n := &t.nodes[ni]
 	i := index(a, leafLevel)
 	if n.present[i] && n.isLeaf[i] {
 		return // already mapped at this size
 	}
-	if n.children[i] != nil {
+	if n.children[i] != 0 {
 		// Collapsing: a finer-grained subtree existed (e.g. PTEs being
 		// replaced by one huge PMD entry). Drop it and adjust counts.
 		t.subtractSubtree(n.children[i], leafLevel-1)
-		n.children[i] = nil
+		n.children[i] = 0
 	}
 	n.present[i] = true
 	n.isLeaf[i] = true
@@ -119,19 +153,21 @@ func (t *Table) Map(a mem.VirtAddr, size mem.PageSize) {
 	t.addCount(size, 1)
 }
 
-// subtractSubtree removes the page counts contributed by a subtree whose
-// root's children live at level l.
-func (t *Table) subtractSubtree(n *node, l Level) {
+// subtractSubtree removes the page counts contributed by the subtree rooted
+// at slot ci, whose entries live at level l, and recycles its node slots.
+func (t *Table) subtractSubtree(ci int32, l Level) {
+	n := &t.nodes[ci]
 	for i := 0; i < 512; i++ {
 		if !n.present[i] {
 			continue
 		}
 		if n.isLeaf[i] {
 			t.addCount(sizeFor(l), ^uint64(0)) // -1
-		} else if n.children[i] != nil {
+		} else if n.children[i] != 0 {
 			t.subtractSubtree(n.children[i], l-1)
 		}
 	}
+	t.freeNode(ci)
 }
 
 func (t *Table) addCount(size mem.PageSize, delta uint64) {
@@ -151,14 +187,15 @@ func (t *Table) addCount(size mem.PageSize, delta uint64) {
 func (t *Table) Unmap(a mem.VirtAddr, size mem.PageSize) {
 	a = mem.PageBase(a, size)
 	leafLevel := leafFor(size)
-	n := t.root
+	ni := int32(0)
 	for l := PGD; l > leafLevel; l-- {
 		i := index(a, l)
-		if n.children[i] == nil {
+		ni = t.nodes[ni].children[i]
+		if ni == 0 {
 			return
 		}
-		n = n.children[i]
 	}
+	n := &t.nodes[ni]
 	i := index(a, leafLevel)
 	if n.present[i] && n.isLeaf[i] {
 		n.present[i] = false
@@ -197,8 +234,9 @@ func sizeFor(l Level) mem.PageSize {
 // MappedSize returns the page size a is currently mapped with, or (0,false)
 // if unmapped.
 func (t *Table) MappedSize(a mem.VirtAddr) (mem.PageSize, bool) {
-	n := t.root
+	ni := int32(0)
 	for l := PGD; l >= PTE; l-- {
+		n := &t.nodes[ni]
 		i := index(a, l)
 		if !n.present[i] {
 			return 0, false
@@ -215,10 +253,10 @@ func (t *Table) MappedSize(a mem.VirtAddr) (mem.PageSize, bool) {
 				return 0, false
 			}
 		}
-		if n.children[i] == nil {
+		if n.children[i] == 0 {
 			return 0, false
 		}
-		n = n.children[i]
+		ni = n.children[i]
 	}
 	return 0, false
 }
@@ -253,8 +291,10 @@ type WalkInfo struct {
 // is returned; the Walker applies the PWC to discount cached upper levels.
 func (t *Table) Walk(a mem.VirtAddr) WalkInfo {
 	info := WalkInfo{}
-	n := t.root
+	nodes := t.nodes
+	ni := int32(0)
 	for l := PGD; l >= PTE; l-- {
+		n := &nodes[ni]
 		i := index(a, l)
 		info.Levels++
 		if !n.present[i] {
@@ -274,10 +314,10 @@ func (t *Table) Walk(a mem.VirtAddr) WalkInfo {
 			info.Size = sizeFor(l)
 			return info
 		}
-		if n.children[i] == nil {
+		if n.children[i] == 0 {
 			return info
 		}
-		n = n.children[i]
+		ni = n.children[i]
 	}
 	return info
 }
@@ -286,15 +326,16 @@ func (t *Table) Walk(a mem.VirtAddr) WalkInfo {
 // the given level. HawkEye-style software scanning uses this to sample page
 // activity; passing PGD clears everything.
 func (t *Table) ClearAccessed(upTo Level) {
-	t.clearAccessed(t.root, PGD, upTo)
+	t.clearAccessed(0, PGD, upTo)
 }
 
-func (t *Table) clearAccessed(n *node, l, upTo Level) {
+func (t *Table) clearAccessed(ni int32, l, upTo Level) {
+	n := &t.nodes[ni]
 	for i := 0; i < 512; i++ {
 		if l <= upTo {
 			n.accessed[i] = false
 		}
-		if n.children[i] != nil {
+		if n.children[i] != 0 {
 			t.clearAccessed(n.children[i], l-1, upTo)
 		}
 	}
@@ -303,14 +344,16 @@ func (t *Table) clearAccessed(n *node, l, upTo Level) {
 // Accessed4K reports whether the PTE for the 4KB page containing a has its
 // accessed bit set (software sampling path used by the HawkEye model).
 func (t *Table) Accessed4K(a mem.VirtAddr) bool {
-	n := t.root
+	ni := int32(0)
 	for l := PGD; l > PTE; l-- {
+		n := &t.nodes[ni]
 		i := index(a, l)
-		if !n.present[i] || n.isLeaf[i] || n.children[i] == nil {
+		if !n.present[i] || n.isLeaf[i] || n.children[i] == 0 {
 			return false
 		}
-		n = n.children[i]
+		ni = n.children[i]
 	}
+	n := &t.nodes[ni]
 	i := index(a, PTE)
 	return n.present[i] && n.accessed[i]
 }
@@ -318,13 +361,14 @@ func (t *Table) Accessed4K(a mem.VirtAddr) bool {
 // ClearAccessed4K clears the PTE accessed bit for the 4KB page containing a,
 // if mapped. Used by software scanners after sampling.
 func (t *Table) ClearAccessed4K(a mem.VirtAddr) {
-	n := t.root
+	ni := int32(0)
 	for l := PGD; l > PTE; l-- {
+		n := &t.nodes[ni]
 		i := index(a, l)
-		if !n.present[i] || n.isLeaf[i] || n.children[i] == nil {
+		if !n.present[i] || n.isLeaf[i] || n.children[i] == 0 {
 			return
 		}
-		n = n.children[i]
+		ni = n.children[i]
 	}
-	n.accessed[index(a, PTE)] = false
+	t.nodes[ni].accessed[index(a, PTE)] = false
 }

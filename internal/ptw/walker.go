@@ -44,20 +44,53 @@ func newPWCCache(capacity int) *pwcCache {
 	}
 }
 
-func (c *pwcCache) lookup(tag uint64) bool {
+// probe is the fused lookup: it behaves exactly like the old lookup (tick,
+// recency stamp and hit count on a hit, miss count otherwise) but on a miss
+// additionally returns the victim slot a subsequent insert of the same tag
+// would select — the first invalid way, else the LRU way — so the miss path
+// fills without the tag-matching rescan insert performs. The hit scan stays
+// as cheap as the old lookup: victim selection runs only after a confirmed
+// miss, so hits (the common case, especially for the 32-way PMD cache) pay
+// no recency comparisons. The victim is only valid while no other operation
+// touches the cache, which holds within one Walk.
+func (c *pwcCache) probe(tag uint64) (hit bool, victim int) {
 	if c.cap == 0 {
-		return false
+		return false, -1
 	}
 	c.tick++
-	for i := 0; i < c.cap; i++ {
-		if c.valid[i] && c.tags[i] == tag {
+	tags := c.tags
+	valid := c.valid[:len(tags)]
+	for i := range tags {
+		if valid[i] && tags[i] == tag {
 			c.lru[i] = c.tick
 			c.hits++
-			return true
+			return true, -1
+		}
+	}
+	for i := range valid {
+		if !valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
 		}
 	}
 	c.miss++
-	return false
+	return false, victim
+}
+
+// fillMiss installs tag at the victim slot probe returned for a miss,
+// skipping the duplicate/victim rescan insert performs (probe established
+// the tag is absent and victim is exactly the slot insert would pick).
+func (c *pwcCache) fillMiss(victim int, tag uint64) {
+	if c.cap == 0 {
+		return
+	}
+	c.tick++
+	c.tags[victim] = tag
+	c.lru[victim] = c.tick
+	c.valid[victim] = true
 }
 
 func (c *pwcCache) insert(tag uint64) {
@@ -138,6 +171,12 @@ func NewWalker(cfg PWCConfig) *Walker {
 // Walk performs a page table walk for address a in table t, consulting the
 // PWC to skip cached upper levels, and returns the walk info with Levels
 // adjusted for PWC hits.
+//
+// Each level is probed at most once: the probe returns the victim slot on a
+// miss, so the refill below fills that slot directly instead of rescanning
+// all ways. Levels the probe chain never reached (or whose probe hit) go
+// through the historical insert path, which preserves its exact duplicate
+// and victim semantics.
 func (w *Walker) Walk(t *Table, a mem.VirtAddr) WalkInfo {
 	w.stats.Walks++
 	info := t.Walk(a)
@@ -148,27 +187,44 @@ func (w *Walker) Walk(t *Table, a mem.VirtAddr) WalkInfo {
 	pudTag := uint64(a) >> PUD.shift()
 	pmdTag := uint64(a) >> PMD.shift()
 
+	// Victim slot per level when its probe ran and missed; -1 otherwise.
+	pudVictim, pgdVictim := -1, -1
+
 	w.stats.PWCLookups++
-	if w.pmd.lookup(pmdTag) && info.Size == mem.Page4K {
+	pmdHit, pmdVictim := w.pmd.probe(pmdTag)
+	if pmdHit && info.Size == mem.Page4K {
 		// PMD-level entry cached: only the PTE read remains.
 		skipped = 3
 		w.stats.PWCHits++
-	} else if w.pud.lookup(pudTag) && info.Size != mem.Page1G {
-		skipped = 2
-		w.stats.PWCHits++
-	} else if w.pgd.lookup(pgdTag) {
-		skipped = 1
-		w.stats.PWCHits++
+	} else {
+		pudHit, pudSlot := w.pud.probe(pudTag)
+		if !pudHit {
+			pudVictim = pudSlot
+		}
+		if pudHit && info.Size != mem.Page1G {
+			skipped = 2
+			w.stats.PWCHits++
+		} else {
+			pgdHit, pgdSlot := w.pgd.probe(pgdTag)
+			if !pgdHit {
+				pgdVictim = pgdSlot
+			}
+			if pgdHit {
+				skipped = 1
+				w.stats.PWCHits++
+			}
+		}
 	}
 
 	if info.Mapped {
-		// Refill PWC with the upper levels this walk traversed.
-		w.pgd.insert(pgdTag)
+		// Refill PWC with the upper levels this walk traversed, reusing
+		// each level's probe victim when the probe missed.
+		refill(w.pgd, pgdVictim, pgdTag)
 		if info.Size != mem.Page1G {
-			w.pud.insert(pudTag)
+			refill(w.pud, pudVictim, pudTag)
 		}
 		if info.Size == mem.Page4K {
-			w.pmd.insert(pmdTag)
+			refill(w.pmd, pmdVictim, pmdTag)
 		}
 		switch info.Size {
 		case mem.Page4K:
@@ -191,6 +247,17 @@ func (w *Walker) Walk(t *Table, a mem.VirtAddr) WalkInfo {
 	info.Levels -= skipped
 	w.stats.LevelsRead += uint64(info.Levels)
 	return info
+}
+
+// refill reinstalls tag after a successful walk: directly into the probe's
+// victim slot when this level's probe missed, else through the historical
+// insert scan (probe hit, or the short-circuit chain never probed here).
+func refill(c *pwcCache, victim int, tag uint64) {
+	if victim >= 0 {
+		c.fillMiss(victim, tag)
+		return
+	}
+	c.insert(tag)
 }
 
 // NoteColdFiltered records that the PCC filter skipped this walk's region

@@ -17,6 +17,31 @@ func BenchmarkHierarchyHit(b *testing.B) {
 	}
 }
 
+// BenchmarkTLBAccess measures the hierarchy under the mix real streams
+// produce: long same-page runs (the MRU fast path), a strided warm working
+// set (set scans that hit), and occasional capacity misses with fills.
+func BenchmarkTLBAccess(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	var addrs []mem.VirtAddr
+	for p := 0; p < 256; p++ {
+		a := mem.VirtAddr(p) << 12
+		for rep := 0; rep < 8; rep++ {
+			addrs = append(addrs, a+mem.VirtAddr(rep*64))
+		}
+	}
+	for i := 0; i < 64; i++ {
+		addrs = append(addrs, mem.VirtAddr(1<<30)+mem.VirtAddr(i)<<24)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i%len(addrs)]
+		if h.Access(a, mem.Page4K) == Miss {
+			h.Fill(a, mem.Page4K)
+		}
+	}
+}
+
 // BenchmarkHierarchyThrash measures lookup+fill under a working set far
 // beyond capacity (the graph-workload regime).
 func BenchmarkHierarchyThrash(b *testing.B) {

@@ -116,6 +116,17 @@ func (h *Hierarchy) Access(a mem.VirtAddr, size mem.PageSize) Result {
 	return Miss
 }
 
+// CountL1Hits records n L1 hits for the given page size on behalf of an
+// external MRU filter (the vmm step-level L0 filter), without probing or
+// re-stamping any entry. The caller guarantees each counted access would
+// have hit the same already-MRU L1 entry, so skipping the scan and the
+// recency refresh is invisible to every replacement decision; only the
+// counters the experiments report move.
+func (h *Hierarchy) CountL1Hits(size mem.PageSize, n uint64) {
+	h.accesses += n
+	h.l1[sizeIndex(size)].CountHit(n)
+}
+
 // Fill installs the translation for a at the given page size after a page
 // table walk, into both levels.
 func (h *Hierarchy) Fill(a mem.VirtAddr, size mem.PageSize) {

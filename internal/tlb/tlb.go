@@ -39,23 +39,38 @@ func (s Stats) String() string {
 	return fmt.Sprintf("hits=%d misses=%d (%.2f%% miss)", s.Hits, s.Misses, 100*s.MissRate())
 }
 
-type entry struct {
-	valid bool
-	vpn   mem.PageNum
-	size  mem.PageSize
-	lru   uint64 // higher = more recently used
-}
-
 // TLB is a single set-associative translation lookaside buffer for one or
 // more page sizes. Sets are indexed by the low bits of the page number.
+//
+// Entry storage is structure-of-arrays: the ways-wide set scan in Lookup is
+// the innermost loop of the whole simulator, and splitting the fields into
+// parallel slices keeps the scanned tags densely packed (8 bytes per way
+// instead of a 32-byte struct), so a 4-way probe touches one cache line.
+// A size of 0 marks an invalid way; valid entries always carry one of the
+// three real page sizes, so tag comparison and validity collapse into the
+// same two loads.
 type TLB struct {
 	name    string
 	sets    int
 	ways    int
-	setMask uint64  // sets-1 when sets is a power of two, else 0
-	entries []entry // sets*ways, set-major
-	tick    uint64
-	stats   Stats
+	setMask uint64 // sets-1 when sets is a power of two, else 0
+
+	vpns  []mem.PageNum  // sets*ways, set-major
+	sizes []mem.PageSize // 0 = invalid way
+	lrus  []uint64       // higher = more recently used
+
+	// mruVPN/mruSize remember the most recently stamped entry (last Lookup
+	// hit or Insert). That entry is by construction the most recently used
+	// way of its set, so a repeat Lookup can return a hit without the set
+	// scan and without re-stamping: refreshing an already-MRU entry never
+	// changes within-set LRU order, which keeps every replacement decision
+	// — and therefore every simulation result — bit-identical. mruSize 0
+	// means no hint.
+	mruVPN  mem.PageNum
+	mruSize mem.PageSize
+
+	tick  uint64
+	stats Stats
 
 	// OnEvict, when set, is called with each valid entry displaced by a
 	// capacity replacement (not by invalidation). The victim-tracker
@@ -77,10 +92,12 @@ func New(cfg Config) *TLB {
 		panic(fmt.Sprintf("tlb: invalid geometry %d entries / %d ways", cfg.Entries, cfg.Ways))
 	}
 	t := &TLB{
-		name:    cfg.Name,
-		sets:    cfg.Entries / cfg.Ways,
-		ways:    cfg.Ways,
-		entries: make([]entry, cfg.Entries),
+		name:  cfg.Name,
+		sets:  cfg.Entries / cfg.Ways,
+		ways:  cfg.Ways,
+		vpns:  make([]mem.PageNum, cfg.Entries),
+		sizes: make([]mem.PageSize, cfg.Entries),
+		lrus:  make([]uint64, cfg.Entries),
 	}
 	if t.sets&(t.sets-1) == 0 {
 		t.setMask = uint64(t.sets - 1)
@@ -109,22 +126,32 @@ func (t *TLB) setIndex(vpn mem.PageNum) int {
 	return int(uint64(vpn) % uint64(t.sets))
 }
 
-func (t *TLB) set(vpn mem.PageNum) []entry {
-	i := t.setIndex(vpn) * t.ways
-	return t.entries[i : i+t.ways]
+// stamp records (vpn, size) as the most recently used entry overall,
+// enabling the MRU fast path on the next Lookup.
+func (t *TLB) stamp(vpn mem.PageNum, size mem.PageSize) {
+	t.mruVPN, t.mruSize = vpn, size
 }
 
 // Lookup probes the TLB for (vpn, size). On a hit the entry's recency is
 // refreshed. It does not insert on miss; use Insert for that, so that the
 // hierarchy controls fill policy.
 func (t *TLB) Lookup(vpn mem.PageNum, size mem.PageSize) bool {
+	if vpn == t.mruVPN && size == t.mruSize {
+		// MRU fast path: the entry was the last one stamped, so it is
+		// still the most recently used way of its set and re-stamping it
+		// would not change LRU order. Count the hit and skip the scan.
+		t.stats.Hits++
+		return true
+	}
 	t.tick++
-	set := t.set(vpn)
-	for i := range set {
-		e := &set[i]
-		if e.valid && e.vpn == vpn && e.size == size {
-			e.lru = t.tick
+	base := t.setIndex(vpn) * t.ways
+	vpns := t.vpns[base : base+t.ways]
+	sizes := t.sizes[base : base+t.ways][:len(vpns)]
+	for i := range vpns {
+		if vpns[i] == vpn && sizes[i] == size {
+			t.lrus[base+i] = t.tick
 			t.stats.Hits++
+			t.stamp(vpn, size)
 			return true
 		}
 	}
@@ -136,48 +163,63 @@ func (t *TLB) Lookup(vpn mem.PageNum, size mem.PageSize) bool {
 // Re-inserting an existing entry refreshes it in place.
 func (t *TLB) Insert(vpn mem.PageNum, size mem.PageSize) {
 	t.tick++
-	set := t.set(vpn)
+	base := t.setIndex(vpn) * t.ways
+	vpns := t.vpns[base : base+t.ways]
+	sizes := t.sizes[base : base+t.ways][:len(vpns)]
+	lrus := t.lrus[base : base+t.ways][:len(vpns)]
 	victim := 0
-	for i := range set {
-		e := &set[i]
-		if e.valid && e.vpn == vpn && e.size == size {
-			e.lru = t.tick
+	for i := range vpns {
+		if vpns[i] == vpn && sizes[i] == size {
+			lrus[i] = t.tick
+			t.stamp(vpn, size)
 			return
 		}
-		if !e.valid {
-			victim = i
+		if sizes[i] == 0 {
 			// An invalid way is always the best victim; stop scanning
 			// for LRU but keep checking for a duplicate entry.
-			for j := i + 1; j < len(set); j++ {
-				d := &set[j]
-				if d.valid && d.vpn == vpn && d.size == size {
-					d.lru = t.tick
+			for j := i + 1; j < len(vpns); j++ {
+				if vpns[j] == vpn && sizes[j] == size {
+					lrus[j] = t.tick
+					t.stamp(vpn, size)
 					return
 				}
 			}
-			set[victim] = entry{valid: true, vpn: vpn, size: size, lru: t.tick}
+			t.fill(base+i, vpn, size)
 			return
 		}
-		if set[i].lru < set[victim].lru {
+		if lrus[i] < lrus[victim] {
 			victim = i
 		}
 	}
-	if set[victim].valid {
-		t.stats.Evictions++
-		if t.OnEvict != nil {
-			t.OnEvict(set[victim].vpn, set[victim].size)
-		}
+	// Every way was valid: a genuine capacity eviction.
+	t.stats.Evictions++
+	if t.OnEvict != nil {
+		t.OnEvict(vpns[victim], sizes[victim])
 	}
-	set[victim] = entry{valid: true, vpn: vpn, size: size, lru: t.tick}
+	t.fill(base+victim, vpn, size)
 }
+
+// fill writes (vpn, size) into way i at the current tick and stamps it MRU.
+func (t *TLB) fill(i int, vpn mem.PageNum, size mem.PageSize) {
+	t.vpns[i] = vpn
+	t.sizes[i] = size
+	t.lrus[i] = t.tick
+	t.stamp(vpn, size)
+}
+
+// CountHit records a hit for (vpn, size) established by an external MRU
+// filter, without scanning or re-stamping. The caller guarantees the entry
+// is present and most recently used in its set (e.g. the vmm step-level L0
+// filter, which mirrors the fill/shootdown lifecycle of the entry), so the
+// skipped re-stamp cannot change LRU order.
+func (t *TLB) CountHit(n uint64) { t.stats.Hits += n }
 
 // Contains reports whether (vpn, size) is cached, without touching LRU
 // state or statistics (a diagnostic probe, not a lookup).
 func (t *TLB) Contains(vpn mem.PageNum, size mem.PageSize) bool {
-	set := t.set(vpn)
-	for i := range set {
-		e := &set[i]
-		if e.valid && e.vpn == vpn && e.size == size {
+	base := t.setIndex(vpn) * t.ways
+	for i := base; i < base+t.ways; i++ {
+		if t.vpns[i] == vpn && t.sizes[i] == size {
 			return true
 		}
 	}
@@ -188,11 +230,13 @@ func (t *TLB) Contains(vpn mem.PageNum, size mem.PageSize) bool {
 // returning whether an entry was dropped. This models a single-page
 // shootdown (INVLPG).
 func (t *TLB) InvalidatePage(vpn mem.PageNum, size mem.PageSize) bool {
-	set := t.set(vpn)
-	for i := range set {
-		e := &set[i]
-		if e.valid && e.vpn == vpn && e.size == size {
-			e.valid = false
+	base := t.setIndex(vpn) * t.ways
+	for i := base; i < base+t.ways; i++ {
+		if t.vpns[i] == vpn && t.sizes[i] == size {
+			t.sizes[i] = 0
+			if vpn == t.mruVPN && size == t.mruSize {
+				t.mruSize = 0
+			}
 			t.stats.Invalidates++
 			return true
 		}
@@ -206,17 +250,21 @@ func (t *TLB) InvalidatePage(vpn mem.PageNum, size mem.PageSize) bool {
 // within the promoted 2MB region must go.
 func (t *TLB) InvalidateRange(r mem.Range) int {
 	n := 0
-	for i := range t.entries {
-		e := &t.entries[i]
-		if !e.valid {
+	for i := range t.sizes {
+		size := t.sizes[i]
+		if size == 0 {
 			continue
 		}
-		base := mem.VirtAddr(uint64(e.vpn) << e.size.Shift())
-		pr := mem.Range{Start: base, End: base + mem.VirtAddr(uint64(e.size))}
+		base := mem.VirtAddr(uint64(t.vpns[i]) << size.Shift())
+		pr := mem.Range{Start: base, End: base + mem.VirtAddr(uint64(size))}
 		if pr.Overlaps(r) {
-			e.valid = false
+			t.sizes[i] = 0
 			n++
 		}
+	}
+	if n > 0 {
+		// Conservatively drop the MRU hint: the stamped entry may be gone.
+		t.mruSize = 0
 	}
 	t.stats.Invalidates += uint64(n)
 	return n
@@ -224,16 +272,17 @@ func (t *TLB) InvalidateRange(r mem.Range) int {
 
 // Flush invalidates every entry.
 func (t *TLB) Flush() {
-	for i := range t.entries {
-		t.entries[i].valid = false
+	for i := range t.sizes {
+		t.sizes[i] = 0
 	}
+	t.mruSize = 0
 }
 
 // Occupancy returns the number of valid entries (useful in tests).
 func (t *TLB) Occupancy() int {
 	n := 0
-	for i := range t.entries {
-		if t.entries[i].valid {
+	for i := range t.sizes {
+		if t.sizes[i] != 0 {
 			n++
 		}
 	}
@@ -244,9 +293,9 @@ func (t *TLB) Occupancy() int {
 // statistics. The invariant auditor and property tests use this to check
 // that no stale translation survives a shootdown.
 func (t *TLB) VisitValid(fn func(vpn mem.PageNum, size mem.PageSize)) {
-	for i := range t.entries {
-		if e := &t.entries[i]; e.valid {
-			fn(e.vpn, e.size)
+	for i := range t.sizes {
+		if t.sizes[i] != 0 {
+			fn(t.vpns[i], t.sizes[i])
 		}
 	}
 }

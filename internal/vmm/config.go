@@ -117,7 +117,26 @@ type Core struct {
 	// StallCycles is the subset of Cycles due to OS promotion machinery
 	// (fault-time huge allocation, shootdowns, visible async work).
 	StallCycles float64
+
+	// l0Proc/l0Page4K/l0Size/l0Cost are the step-level MRU ("L0") filter:
+	// the process (by ID, so arming the filter stores no pointer and incurs
+	// no write barrier), 4KB page, mapping size and base cycle cost of the
+	// last access this core completed. A repeat access to the same page is
+	// by construction an L1 TLB hit on the MRU way of its set, so step can
+	// count and charge it without re-running the translation pipeline —
+	// skipping the recency re-stamp of an already-MRU entry changes no
+	// replacement decision, which keeps results bit-identical. l0Size 0
+	// means no filter; any remap or translation flush clears it (clearL0)
+	// so the filter can never outlive the TLB entry it mirrors.
+	l0Proc   int
+	l0Page4K mem.PageNum
+	l0Size   mem.PageSize
+	l0Cost   float64
 }
+
+// clearL0 drops the core's step-level MRU filter (called on any shootdown or
+// translation invalidation that could touch the filtered entry).
+func (c *Core) clearL0() { c.l0Size = 0 }
 
 // Candidates2M returns whichever 2MB candidate source the core is built
 // with (the PCC or the victim tracker), or nil when tracking is off. OS

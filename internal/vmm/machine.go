@@ -220,6 +220,7 @@ func (m *Machine) TotalHugeBytes() uint64 {
 func (m *Machine) shootdownAll(r mem.Range) {
 	dropped := 0
 	for _, c := range m.cores {
+		c.clearL0()
 		dropped += c.TLB.Shootdown(r)
 		c.Walker.InvalidateRange(r)
 		if c.PCC2M != nil {
@@ -354,6 +355,7 @@ func (m *Machine) InvalidateTranslations(p *Process, base mem.VirtAddr) {
 	base = mem.PageBase(base, mem.Page2M)
 	r := mem.Range{Start: base, End: base + mem.VirtAddr(mem.Page2M)}
 	for _, c := range m.cores {
+		c.clearL0()
 		c.TLB.Shootdown(r)
 		c.Walker.InvalidateRange(r)
 	}

@@ -6,8 +6,9 @@
 # Usage:
 #   scripts/benchdiff.sh <ref> [bench-regex] [packages...]
 #
-# Defaults: bench-regex 'Step|RunStream|EmitChunk', packages
-# ./internal/vmm ./internal/workloads. Examples:
+# Defaults: bench-regex 'Step|RunStream|EmitChunk|Walk|TLBAccess|PCCRecord',
+# packages ./internal/vmm ./internal/workloads ./internal/tlb ./internal/ptw
+# ./internal/pcc. Examples:
 #
 #   scripts/benchdiff.sh HEAD~1
 #   scripts/benchdiff.sh 3efe74e 'RunStream' ./internal/vmm
@@ -17,9 +18,9 @@
 set -eu
 
 ref=${1:?usage: scripts/benchdiff.sh <ref> [bench-regex] [packages...]}
-regex=${2:-'Step|RunStream|EmitChunk'}
+regex=${2:-'Step|RunStream|EmitChunk|Walk|TLBAccess|PCCRecord'}
 if [ $# -ge 2 ]; then shift 2; else shift $#; fi
-pkgs=${*:-"./internal/vmm ./internal/workloads"}
+pkgs=${*:-"./internal/vmm ./internal/workloads ./internal/tlb ./internal/ptw ./internal/pcc"}
 benchtime=${BENCHTIME:-2s}
 
 root=$(git rev-parse --show-toplevel)
