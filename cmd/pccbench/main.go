@@ -5,6 +5,7 @@
 //	pccbench -app PR -policy pcc -budget 4 -frag 0.5
 //	pccbench -app BFS -policy linux -frag 0.9 -threads 4
 //	pccbench -app canneal -policy hawkeye
+//	pccbench -app PR -policy pcc -frag 0.9 -churn 2048 -compact 512 -demote-wm 8
 package main
 
 import (
@@ -42,6 +43,11 @@ func main() {
 		victim     = flag.Bool("victim", false, "use the L2-eviction victim tracker instead of the PCC")
 		giga       = flag.Bool("1g", false, "enable 1GB PCC tracking and promotion")
 		seed       = flag.Int64("seed", 1, "fragmentation seed")
+		churn      = flag.Int("churn", 0, "dynamic pressure: churn allocations per tick (4KB frames)")
+		churnFree  = flag.Int("churn-free", -1, "dynamic pressure: churn frees per tick (-1 = half of -churn)")
+		churnPin   = flag.Float64("churn-pinned", 0.05, "dynamic pressure: pinned fraction of churn allocations")
+		compact    = flag.Int("compact", 0, "dynamic pressure: kcompactd migration budget per tick (4KB frames)")
+		demoteWM   = flag.Int("demote-wm", 0, "dynamic pressure: free-block watermark that triggers 2MB demotion")
 		traceFile  = flag.String("trace", "", "replay an external trace file instead of a built-in workload (text or PCCTRC1 binary; VMAs inferred from the addresses)")
 		numaPolicy = flag.String("numa", "", "enable 2-node NUMA modeling: bind|interleave|local-first (default: off)")
 		budgetList = flag.String("budgets", "", "comma list of budget %s to sweep (runs on the pool, overrides -budget)")
@@ -92,6 +98,21 @@ func main() {
 		cfg.PromotionInterval = *interval
 		cfg.PCC2M.Entries = *pccSize
 		cfg.AuditEveryTick = *audit
+		if *churn > 0 || *compact > 0 || *demoteWM > 0 {
+			free := *churnFree
+			if free < 0 {
+				free = *churn / 2
+			}
+			cfg.Pressure = vmm.PressureConfig{
+				Enable:                true,
+				ChurnAllocFrames:      *churn,
+				ChurnFreeFrames:       free,
+				ChurnPinnedFrac:       *churnPin,
+				CompactBudgetFrames:   *compact,
+				DemoteWatermarkBlocks: *demoteWM,
+				MaxDemotionsPerTick:   2,
+			}
+		}
 		if *eventsFile != "" || *audit {
 			cfg.EventLogSize = -1
 		}
@@ -250,6 +271,12 @@ func main() {
 	fmt.Printf("promotions     %d   demotions %d\n", res.Promotions, res.Demotions)
 	fmt.Printf("stall cycles   %.4g   background %.4g\n", res.StallCycles, res.BackgroundCycles)
 	fmt.Printf("phys           %v\n", m.Phys())
+	if m.Config().Pressure.Enable {
+		st := m.Phys().Stats()
+		fmt.Printf("pressure       churn alloc=%d free=%d pinned=%d blocked=%d   daemon migrated=%d rebuilt=%d   pressure demotions=%d\n",
+			st.ChurnAllocFrames, st.ChurnFreeFrames, st.ChurnPinnedFrames, st.ChurnBlockedAllocs,
+			st.DaemonMigrated, st.DaemonRebuilt, m.PressureDemotions)
+	}
 	fmt.Printf("bloat          %s (touched %s)\n",
 		mem.HumanBytes(p.BloatBytes()), mem.HumanBytes(p.TouchedBytes()))
 	emitObs([]benchRun{r}, []string{wl.Name()})

@@ -5,6 +5,7 @@
 //	pccsim -exp list                 # show available experiments
 //	pccsim -exp fig5                 # single-thread utility curves
 //	pccsim -exp fig7 -scale 19       # 90%-fragmentation comparison
+//	pccsim -exp figfrag              # policy sweep under dynamic churn + kcompactd
 //	pccsim -exp all -quick           # everything, CI-sized
 //
 // The -quick flag shrinks workloads to seconds-per-experiment; -full runs

@@ -177,6 +177,19 @@ type runCfg struct {
 	victim     bool // use the L2-eviction victim tracker instead of the PCC
 	replace    pcc.ReplacementPolicy
 	interval   uint64
+	// Dynamic pressure knobs (see vmm.PressureConfig); the pressure model is
+	// enabled when any of them is non-zero. Baseline runs always execute
+	// pressure-free (see baselineOf).
+	churnAlloc    int     // churn source: frames allocated per tick
+	churnFree     int     // churn source: frames freed per tick
+	churnPinned   float64 // fraction of churn allocations that are pinned
+	compactBudget int     // kcompactd daemon migration budget, frames per tick
+	demoteWM      int     // free-block watermark that triggers pressure demotion
+}
+
+// pressureOn reports whether rc asks for the dynamic pressure model.
+func (rc runCfg) pressureOn() bool {
+	return rc.churnAlloc > 0 || rc.churnFree > 0 || rc.compactBudget > 0 || rc.demoteWM > 0
 }
 
 func (o Options) machineConfig(rc runCfg) vmm.Config {
@@ -213,6 +226,17 @@ func (o Options) machineConfig(rc runCfg) vmm.Config {
 	cfg.PCC2M.DisableDecay = rc.noDecay
 	cfg.PCC2M.Replacement = rc.replace
 	cfg.AuditEveryTick = o.Audit
+	if rc.pressureOn() {
+		cfg.Pressure = vmm.PressureConfig{
+			Enable:                true,
+			ChurnAllocFrames:      rc.churnAlloc,
+			ChurnFreeFrames:       rc.churnFree,
+			ChurnPinnedFrac:       rc.churnPinned,
+			CompactBudgetFrames:   rc.compactBudget,
+			DemoteWatermarkBlocks: rc.demoteWM,
+			MaxDemotionsPerTick:   2,
+		}
+	}
 	if o.EventSink != nil {
 		cfg.EventLogSize = -1 // default ring bound
 	}
@@ -344,11 +368,7 @@ func (o Options) runApp(app string, rc runCfg, baselines baselineCache) appResul
 		key := specKey(s, rc.threads)
 		base, ok := baselines[key]
 		if !ok {
-			brc := rc
-			brc.kind = polBaseline
-			brc.frag = 0
-			brc.budgetPct = 0
-			base = o.runOne(s, wl, brc)
+			base = o.runOne(s, wl, baselineOf(rc))
 			baselines[key] = base
 		}
 		res := o.runOne(s, wl, rc)
@@ -381,11 +401,21 @@ type cell struct {
 	rc  runCfg
 }
 
+// baselineOf derives the paired baseline configuration from rc: 4KB faults,
+// pristine memory, no budget, and no dynamic pressure — every speedup in a
+// grid is measured against the same undisturbed denominator.
+func baselineOf(rc runCfg) runCfg {
+	rc.kind, rc.frag, rc.budgetPct = polBaseline, 0, 0
+	rc.churnAlloc, rc.churnFree, rc.churnPinned, rc.compactBudget, rc.demoteWM = 0, 0, 0, 0, 0
+	return rc
+}
+
 // isBaselineRun reports whether rc is indistinguishable from the paired
-// baseline configuration (4KB faults, pristine memory, no budget): such runs
-// alias the baseline simulation instead of being simulated twice.
+// baseline configuration (4KB faults, pristine memory, no budget, no
+// pressure): such runs alias the baseline simulation instead of being
+// simulated twice.
 func isBaselineRun(rc runCfg) bool {
-	return rc.kind == polBaseline && rc.frag == 0 && rc.budgetPct == 0
+	return rc.kind == polBaseline && rc.frag == 0 && rc.budgetPct == 0 && !rc.pressureOn()
 }
 
 // runCells evaluates a grid of cells on the run pool and returns one
@@ -420,11 +450,9 @@ func (o Options) runCells(cells []cell) ([]appResult, error) {
 			key := specKey(s, rc.threads)
 			bi, ok := baseIdx[key]
 			if !ok {
-				brc := rc
-				brc.kind, brc.frag, brc.budgetPct = polBaseline, 0, 0
 				bi = len(sims)
 				baseIdx[key] = bi
-				sims = append(sims, sim{name: key + "/base", spec: s, rc: brc})
+				sims = append(sims, sim{name: key + "/base", spec: s, rc: baselineOf(rc)})
 			}
 			vi := bi
 			if !isBaselineRun(rc) {

@@ -1,0 +1,120 @@
+package ospolicy
+
+import (
+	"testing"
+
+	"pccsim/internal/physmem"
+	"pccsim/internal/vmm"
+)
+
+// TestKhugepagedSkipsEmptyProcess is the regression test for the scan-cursor
+// stall: a process with zero VMA bytes used to make LinuxTHP.Tick return the
+// moment the cursor reached it, so khugepaged never collapsed anything for
+// any process again. The empty process registers first so the cursor starts
+// on it.
+func TestKhugepagedSkipsEmptyProcess(t *testing.T) {
+	cfg := testConfig(false)
+	cfg.PromotionInterval = 1_000
+	pol := NewLinuxTHP(LinuxTHPConfig{SyncFaultAlloc: false})
+	m := vmm.NewMachine(cfg, pol)
+	m.AddProcess("empty", nil, 10)
+	p := m.AddProcess("busy", testVMA(4), 10)
+	m.Run(&vmm.Job{Proc: p, Stream: seq(p.Ranges()[0], 4)})
+	if p.Promotions2M == 0 {
+		t.Fatal("khugepaged stalled on the empty process: no collapses for the populated one")
+	}
+}
+
+// TestKhugepagedAllProcessesEmpty checks the skip loop terminates when every
+// process is empty (nothing to scan must not spin forever).
+func TestKhugepagedAllProcessesEmpty(t *testing.T) {
+	pol := NewLinuxTHP(DefaultLinuxTHPConfig())
+	m := vmm.NewMachine(testConfig(false), pol)
+	m.AddProcess("a", nil, 10)
+	m.AddProcess("b", nil, 10)
+	pol.Tick(m) // must return promptly
+}
+
+// TestHawkEyeZeroConfigDefaults is the regression test for the MinBucket
+// defaulting hole: a zero or partially-populated HawkEyeConfig must receive
+// every documented default — previously MinBucket stayed 0, silently
+// promoting zero-coverage noise from bucket 0.
+func TestHawkEyeZeroConfigDefaults(t *testing.T) {
+	def := DefaultHawkEyeConfig()
+	h := NewHawkEye(HawkEyeConfig{})
+	if h.cfg != def {
+		t.Errorf("zero config resolved to %+v, want defaults %+v", h.cfg, def)
+	}
+	// Partially populated: every unset field still defaults.
+	h = NewHawkEye(HawkEyeConfig{SamplePages: 1024})
+	if h.cfg.MinBucket != def.MinBucket {
+		t.Errorf("MinBucket = %d, want default %d", h.cfg.MinBucket, def.MinBucket)
+	}
+	if h.cfg.SamplePages != 1024 {
+		t.Errorf("explicit SamplePages overridden to %d", h.cfg.SamplePages)
+	}
+	// Negative opts into genuinely promoting from bucket 0.
+	h = NewHawkEye(HawkEyeConfig{MinBucket: -1})
+	if h.cfg.MinBucket != 0 {
+		t.Errorf("MinBucket = %d, want 0 for negative input", h.cfg.MinBucket)
+	}
+}
+
+// TestPoliciesStopOnTypedNoBlock drives each policy's tick against a machine
+// with zero allocable blocks and checks the typed PromoteNoPhysicalBlock
+// refusal stops the promotion loop (the stringly-typed check this replaces
+// would spin or mis-handle a reworded reason).
+func TestPoliciesStopOnTypedNoBlock(t *testing.T) {
+	build := func(pol vmm.Policy) (*vmm.Machine, *vmm.Process) {
+		cfg := testConfig(true)
+		// Every block pinned and full: AllocHuge can never succeed.
+		cfg.Phys = physmem.Config{TotalBytes: 16 << 21, MovableFillRatio: 1.0}
+		cfg.FragFrac = 1.0
+		cfg.PromotionInterval = 1_000
+		m := vmm.NewMachine(cfg, pol)
+		p := m.AddProcess("t", testVMA(4), 10)
+		return m, p
+	}
+	t.Run("linuxthp", func(t *testing.T) {
+		pol := NewLinuxTHP(LinuxTHPConfig{SyncFaultAlloc: false})
+		m, p := build(pol)
+		m.Run(&vmm.Job{Proc: p, Stream: seq(p.Ranges()[0], 3)})
+		if p.Promotions2M != 0 {
+			t.Errorf("promotions = %d with zero allocable blocks", p.Promotions2M)
+		}
+	})
+	t.Run("hawkeye", func(t *testing.T) {
+		pol := NewHawkEye(DefaultHawkEyeConfig())
+		m, p := build(pol)
+		m.Run(&vmm.Job{Proc: p, Stream: seq(p.Ranges()[0], 3)})
+		if p.Promotions2M != 0 {
+			t.Errorf("promotions = %d with zero allocable blocks", p.Promotions2M)
+		}
+	})
+	t.Run("pccengine", func(t *testing.T) {
+		engine := NewPCCEngine(DefaultPCCEngineConfig())
+		m, p := build(engine)
+		engine.Bind(0, p)
+		m.Run(&vmm.Job{Proc: p, Stream: hotStream(p.Ranges()[0], 20_000)})
+		if p.Promotions2M != 0 {
+			t.Errorf("promotions = %d with zero allocable blocks", p.Promotions2M)
+		}
+	})
+	t.Run("giga", func(t *testing.T) {
+		cfg := testConfig(true)
+		cfg.Enable1G = true
+		// Big enough for VMAs but with every block pinned: no 1GB window.
+		cfg.Phys = physmem.Config{TotalBytes: 1024 << 21, MovableFillRatio: 1.0}
+		cfg.FragFrac = 1.0
+		cfg.PromotionInterval = 1_000
+		engine := NewPCCEngine(PCCEngineConfig{Giga: DefaultGiga1GConfig()})
+		engine.cfg.Giga.Enable = true
+		m := vmm.NewMachine(cfg, engine)
+		p := m.AddProcess("t", testVMA(4), 10)
+		engine.Bind(0, p)
+		m.Run(&vmm.Job{Proc: p, Stream: hotStream(p.Ranges()[0], 20_000)})
+		if p.Promotions1G != 0 {
+			t.Errorf("1GB promotions = %d with zero allocable windows", p.Promotions1G)
+		}
+	})
+}

@@ -59,6 +59,10 @@ func (e *PCCEngine) tick1G(m *vmm.Machine) {
 			if err := m.Promote1G(proc, cand.Region.Base); err == nil {
 				promoted++
 				e.stats.Promoted1G++
+			} else if vmm.IsNoPhysicalBlock(err) {
+				// No 1GB window anywhere: retrying other candidates this
+				// tick cannot succeed.
+				return
 			}
 		}
 	}

@@ -23,7 +23,9 @@ type HawkEyeConfig struct {
 	// Buckets is the number of access-coverage buckets (HawkEye: 10, each
 	// ~51 pages of coverage wide; regions in bucket 9 promote first).
 	Buckets int
-	// MinBucket is the lowest bucket ever promoted.
+	// MinBucket is the lowest bucket ever promoted (default 1, so
+	// zero-coverage noise never promotes). Zero takes the default; pass a
+	// negative value to genuinely promote from bucket 0.
 	MinBucket int
 	// EWMA is the weight of the previous coverage estimate when a new
 	// interval's sample is folded in (HawkEye re-measures utilization
@@ -94,6 +96,11 @@ func NewHawkEye(cfg HawkEyeConfig) *HawkEye {
 	}
 	if cfg.Buckets <= 0 {
 		cfg.Buckets = def.Buckets
+	}
+	if cfg.MinBucket == 0 {
+		cfg.MinBucket = def.MinBucket
+	} else if cfg.MinBucket < 0 {
+		cfg.MinBucket = 0
 	}
 	if cfg.EWMA <= 0 || cfg.EWMA >= 1 {
 		cfg.EWMA = def.EWMA
@@ -239,7 +246,7 @@ func (h *HawkEye) promote(m *vmm.Machine) {
 			h.promoted++
 			continue
 		}
-		if pe, ok := err.(*vmm.PromoteError); ok && pe.Reason == "no physical block available" {
+		if vmm.IsNoPhysicalBlock(err) {
 			return
 		}
 	}

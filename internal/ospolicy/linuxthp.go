@@ -151,6 +151,7 @@ func (l *LinuxTHP) Tick(m *vmm.Machine) {
 
 	scanBudget := l.cfg.KhugepagedScanPages
 	regionPages := int(mem.Page2M.BasePagesPer())
+	emptySkips := 0
 	for scanBudget > 0 {
 		if l.procIdx >= len(procs) {
 			l.procIdx = 0
@@ -162,8 +163,20 @@ func (l *LinuxTHP) Tick(m *vmm.Machine) {
 			total += r.Len()
 		}
 		if total == 0 {
-			return
+			// An address space with no VMA bytes has nothing to scan: move
+			// the cursor past it. Returning here (the old behaviour) parked
+			// the cursor on the empty process forever, stalling khugepaged
+			// for every other process on all subsequent ticks.
+			l.offset = 0
+			l.procIdx = (l.procIdx + 1) % len(procs)
+			emptySkips++
+			if emptySkips >= len(procs) {
+				// Every process is empty; nothing to scan this tick.
+				return
+			}
+			continue
 		}
+		emptySkips = 0
 		if l.offset >= total {
 			l.offset = 0
 			l.procIdx = (l.procIdx + 1) % len(procs)
@@ -206,7 +219,7 @@ func (l *LinuxTHP) Tick(m *vmm.Machine) {
 		if err := m.Promote2M(t.p, t.base); err == nil {
 			promoted++
 			l.promoted++
-		} else if pe, ok := err.(*vmm.PromoteError); ok && pe.Reason == "no physical block available" {
+		} else if vmm.IsNoPhysicalBlock(err) {
 			return
 		}
 	}

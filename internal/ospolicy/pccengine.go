@@ -172,12 +172,8 @@ func (e *PCCEngine) Tick(m *vmm.Machine) {
 			e.stats.Promoted2M++
 			continue
 		}
-		pe, ok := err.(*vmm.PromoteError)
-		if !ok {
-			continue
-		}
-		switch pe.Reason {
-		case "no physical block available":
+		switch {
+		case vmm.IsNoPhysicalBlock(err):
 			if e.cfg.EnableDemotion && e.demoteOne(m, perCore) {
 				if m.Promote2M(c.proc, c.cand.Region.Base) == nil {
 					promoted++
@@ -187,7 +183,7 @@ func (e *PCCEngine) Tick(m *vmm.Machine) {
 			}
 			// Memory exhausted: stop trying this interval.
 			return
-		case "budget exhausted":
+		case vmm.IsBudgetExhausted(err):
 			// This process hit its utility-curve cap; others may not
 			// have.
 			continue
@@ -372,14 +368,17 @@ func (e *PCCEngine) AuditPolicy(m *vmm.Machine) []string {
 		bad = append(bad, fmt.Sprintf("ospolicy: engine promoted %d 1GB regions but processes record %d",
 			e.stats.Promoted1G, p1g))
 	}
-	if e.stats.Demoted2M != dem {
-		bad = append(bad, fmt.Sprintf("ospolicy: engine demoted %d regions but processes record %d",
-			e.stats.Demoted2M, dem))
+	// Pressure demotions (the machine's watermark reclaim) also land in the
+	// per-process Demotions tally without passing through the engine.
+	if e.stats.Demoted2M+m.PressureDemotions != dem {
+		bad = append(bad, fmt.Sprintf("ospolicy: engine demoted %d regions + %d pressure demotions but processes record %d",
+			e.stats.Demoted2M, m.PressureDemotions, dem))
 	}
 	// 1GB promotion absorbs 2MB regions without passing through sampleIdle,
-	// leaving coldTicks keys stale until the next tick prunes them — skip
-	// the liveness check in that configuration.
-	if !e.cfg.Giga.Enable {
+	// and pressure demotion splits them behind the engine's back — both
+	// leave coldTicks keys stale until the next tick prunes them, so skip
+	// the liveness check in those configurations.
+	if !e.cfg.Giga.Enable && !m.Config().Pressure.Enable {
 		for k := range e.coldTicks {
 			live := false
 			for _, p := range m.Procs() {

@@ -29,10 +29,11 @@ func (m *Memory) gigaWindowCost(w int) (int, bool) {
 }
 
 // AllocGiga obtains one 1GB-aligned physical page, compacting movable data
-// out of the cheapest usable window. Returns the frames migrated and
-// whether allocation succeeded. Fragmentation makes this fail much earlier
-// than 2MB allocation: a single unmovable page anywhere in a 1GB window
-// poisons all 512 of its blocks.
+// out of the cheapest usable window into spare capacity outside it. Returns
+// the frames migrated and whether allocation succeeded. Fragmentation makes
+// this fail much earlier than 2MB allocation: a single unmovable page
+// anywhere in a 1GB window poisons all 512 of its blocks — and even a clean
+// window fails when the rest of memory cannot absorb its movable data.
 func (m *Memory) AllocGiga() (migrated int, ok bool) {
 	if !m.GigaCapable() {
 		m.stats.GigaAllocFailures++
@@ -52,15 +53,32 @@ func (m *Memory) AllocGiga() (migrated int, ok bool) {
 		m.stats.GigaAllocFailures++
 		return 0, false
 	}
+	// Check the whole window's eviction fits outside it before moving
+	// anything, so a capacity failure leaves the window untouched. Free
+	// blocks outside the window are acceptable last-resort destinations: a
+	// 1GB page is worth un-freeing scattered 2MB blocks.
+	capacity := 0
+	m.eachDest(-1, best, best+blocksPerGiga, true, func(b int) bool {
+		capacity += m.spare(b)
+		return capacity >= bestCost
+	})
+	if capacity < bestCost {
+		m.stats.MigrationFailures++
+		m.stats.GigaAllocFailures++
+		return 0, false
+	}
 	for i := best; i < best+blocksPerGiga; i++ {
+		if m.blocks[i] == blockMovable {
+			moved, moveOK := m.migrateOut(i, best, best+blocksPerGiga, true)
+			if !moveOK {
+				panic("physmem: giga window migration failed after capacity check")
+			}
+			m.stats.FramesMigrated += uint64(moved)
+		}
 		if m.blocks[i] == blockFree {
 			m.freeBlocks--
 		}
-		if m.blocks[i] == blockMovable {
-			m.stats.FramesMigrated += uint64(m.movableFrames[i])
-		}
 		m.blocks[i] = blockHuge
-		m.movableFrames[i] = 0
 	}
 	m.gigaPages++
 	if bestCost > 0 {

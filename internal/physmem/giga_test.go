@@ -58,8 +58,11 @@ func TestAllocGigaPoisonedByUnmovable(t *testing.T) {
 }
 
 func TestAllocGigaCompactsMovable(t *testing.T) {
-	m := New(Config{TotalBytes: 512 << 21, MovableFillRatio: 0.25})
+	// Two windows, all movable at fill 0.25: the evicted window's frames
+	// must land in the other window's spare capacity.
+	m := New(Config{TotalBytes: 1024 << 21, MovableFillRatio: 0.25})
 	m.Fragment(0, rand.New(rand.NewSource(5))) // all movable, none unmovable
+	before := m.MovableFramesTotal()
 	migrated, ok := m.AllocGiga()
 	if !ok {
 		t.Fatal("movable window must be compactable")
@@ -70,6 +73,32 @@ func TestAllocGigaCompactsMovable(t *testing.T) {
 	}
 	if m.Stats().Compactions != 1 {
 		t.Errorf("compactions = %d", m.Stats().Compactions)
+	}
+	if m.MovableFramesTotal() != before {
+		t.Errorf("movable frames %d -> %d: compaction must conserve frames",
+			before, m.MovableFramesTotal())
+	}
+	if msgs := m.Audit(); len(msgs) != 0 {
+		t.Fatalf("audit violations: %v", msgs)
+	}
+}
+
+func TestAllocGigaFailsWithoutDestinations(t *testing.T) {
+	// A single-window machine whose only window holds movable data has
+	// nowhere to migrate it: conservation makes the allocation fail where
+	// the old vanish-on-compact model spuriously succeeded.
+	m := New(Config{TotalBytes: 512 << 21, MovableFillRatio: 0.25})
+	m.Fragment(0, rand.New(rand.NewSource(5)))
+	if _, ok := m.AllocGiga(); ok {
+		t.Fatal("giga alloc must fail: no destination capacity outside the window")
+	}
+	st := m.Stats()
+	if st.MigrationFailures != 1 || st.GigaAllocFailures != 1 {
+		t.Errorf("migration failures = %d, giga failures = %d, want 1 and 1",
+			st.MigrationFailures, st.GigaAllocFailures)
+	}
+	if msgs := m.Audit(); len(msgs) != 0 {
+		t.Fatalf("audit violations: %v", msgs)
 	}
 }
 

@@ -124,6 +124,17 @@ func (m *Machine) Audit() []string {
 		}
 	}
 
+	// Pressure demotions flow through Demote2M, so every one of them is
+	// also in some process's Demotions tally.
+	var demTotal uint64
+	for _, p := range m.procs {
+		demTotal += p.Demotions
+	}
+	if m.PressureDemotions > demTotal {
+		bad = append(bad, fmt.Sprintf("machine counts %d pressure demotions but processes only recorded %d demotions total",
+			m.PressureDemotions, demTotal))
+	}
+
 	if a, ok := m.policy.(PolicyAuditor); ok {
 		bad = append(bad, a.AuditPolicy(m)...)
 	}

@@ -68,6 +68,11 @@ type Config struct {
 	// NUMA enables the multi-node memory model (zero value: single node,
 	// the bound configuration the paper's methodology uses everywhere).
 	NUMA NUMAConfig
+	// Pressure configures dynamic memory pressure: per-tick allocation/free
+	// churn, the background compaction daemon, and demotion under free-block
+	// watermark pressure. The zero value disables all of it, preserving the
+	// static fragment-once model.
+	Pressure PressureConfig
 	// EventLogSize enables the machine's event trace (promotions, demotions,
 	// shootdowns, compactions, policy dumps) with a ring bound of that many
 	// events. 0 disables tracing entirely (zero overhead); negative uses

@@ -140,7 +140,7 @@ func TestThreeProcessFairness(t *testing.T) {
 	// The shared budget is now exhausted for everyone.
 	for _, p := range procs {
 		err := m.Promote2M(p, p.Ranges()[0].Start+mem.VirtAddr(mem.Page2M))
-		if pe, ok := err.(*PromoteError); !ok || pe.Reason != "budget exhausted" {
+		if !IsPromoteKind(err, PromoteBudgetExhausted) {
 			t.Fatalf("%s: err = %v", p.Name, err)
 		}
 	}

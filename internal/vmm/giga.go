@@ -28,20 +28,20 @@ func (p *Process) regionEligible1G(a mem.VirtAddr) (mem.Region, *vma, bool) {
 func (m *Machine) Promote1G(p *Process, addr mem.VirtAddr) error {
 	r, v, ok := p.regionEligible1G(addr)
 	if !ok {
-		return &PromoteError{Reason: "1GB region spans VMA boundary"}
+		return promoteErr(PromoteVMABoundary, "1GB region spans VMA boundary")
 	}
 	if _, mapped := p.huge1G[r.Base]; mapped {
-		return &PromoteError{Reason: "already 1GB"}
+		return promoteErr(PromoteAlreadyHuge, "already 1GB")
 	}
 	// Count what is currently mapped inside (pricing the copy).
 	mapped4k, huge := p.mappedPagesIn(v, r)
 	if mapped4k == 0 && huge == 0 {
-		return &PromoteError{Reason: "region untouched"}
+		return promoteErr(PromoteUntouched, "region untouched")
 	}
 	migrated, allocOK := m.phys.AllocGiga()
 	if !allocOK {
 		m.PromotionFailures++
-		return &PromoteError{Reason: "no physical 1GB window available"}
+		return promoteErr(PromoteNoPhysicalBlock, "no physical 1GB window available")
 	}
 	// Free the 2MB blocks the region's huge mappings were using: their
 	// data moves into the new window.
@@ -83,11 +83,11 @@ func (m *Machine) Promote1G(p *Process, addr mem.VirtAddr) error {
 func (m *Machine) Demote1G(p *Process, addr mem.VirtAddr) error {
 	base := mem.PageBase(addr, mem.Page1G)
 	if _, ok := p.huge1G[base]; !ok {
-		return &PromoteError{Reason: "not a 1GB mapping"}
+		return promoteErr(PromoteNotMapped, "not a 1GB mapping")
 	}
 	v := p.vmaOf(base)
 	if v == nil {
-		return &PromoteError{Reason: "outside VMAs"}
+		return promoteErr(PromoteVMABoundary, "outside VMAs")
 	}
 	r := mem.Region{Base: base, Size: mem.Page1G}
 	p.Table.Unmap(base, mem.Page1G)

@@ -123,8 +123,7 @@ func TestPromote1GNoWindow(t *testing.T) {
 	base := p.Ranges()[0].Start
 	touchRegion(m, p, base, 16)
 	err := m.Promote1G(p, base)
-	pe, ok := err.(*PromoteError)
-	if !ok || pe.Reason != "no physical 1GB window available" {
+	if !IsNoPhysicalBlock(err) {
 		t.Fatalf("err = %v", err)
 	}
 }

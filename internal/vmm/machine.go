@@ -48,6 +48,15 @@ type Machine struct {
 	// blocks.
 	PromotionFailures uint64
 
+	// PressureDemotions counts 2MB pages the pressure model reclaimed
+	// (demotions the OS policy did not ask for).
+	PressureDemotions uint64
+
+	// pressRNG drives the dynamic pressure model (see pressure.go); lazily
+	// seeded from Config.Seed so it is independent of the fragmentation
+	// stream.
+	pressRNG *rand.Rand
+
 	// promotionLog records every successful 2MB promotion with its
 	// simulated timestamp — the candidate trace of the paper's two-step
 	// methodology (offline simulation writes it; replay consumes it).
@@ -244,11 +253,6 @@ func (m *Machine) chargeAll(cycles float64) {
 	}
 }
 
-// PromoteError explains a refused promotion.
-type PromoteError struct{ Reason string }
-
-func (e *PromoteError) Error() string { return "vmm: promotion refused: " + e.Reason }
-
 // Promote2M promotes the 2MB region containing addr in process p: allocates
 // a physical block (compacting if needed), faults in any unmapped tail,
 // collapses the page table mapping, performs the shootdown and charges
@@ -257,22 +261,22 @@ func (e *PromoteError) Error() string { return "vmm: promotion refused: " + e.Re
 func (m *Machine) Promote2M(p *Process, addr mem.VirtAddr) error {
 	r, v, ok := p.regionEligible2M(addr)
 	if !ok {
-		return &PromoteError{Reason: "region spans VMA boundary"}
+		return promoteErr(PromoteVMABoundary, "region spans VMA boundary")
 	}
 	if p.IsHuge2M(r.Base) {
-		return &PromoteError{Reason: "already huge"}
+		return promoteErr(PromoteAlreadyHuge, "already huge")
 	}
 	if m.overHugeBudget(p) {
-		return &PromoteError{Reason: "budget exhausted"}
+		return promoteErr(PromoteBudgetExhausted, "budget exhausted")
 	}
 	mapped4k, _ := p.mappedPagesIn(v, r)
 	if mapped4k == 0 {
-		return &PromoteError{Reason: "region untouched"}
+		return promoteErr(PromoteUntouched, "region untouched")
 	}
 	migrated, allocOK := m.phys.AllocHuge()
 	if !allocOK {
 		m.PromotionFailures++
-		return &PromoteError{Reason: "no physical block available"}
+		return promoteErr(PromoteNoPhysicalBlock, "no physical block available")
 	}
 
 	// Background work: copy the mapped pages into the new block, migrate
@@ -305,11 +309,11 @@ func (m *Machine) Promote2M(p *Process, addr mem.VirtAddr) error {
 func (m *Machine) Demote2M(p *Process, addr mem.VirtAddr) error {
 	base := mem.PageBase(addr, mem.Page2M)
 	if !p.IsHuge2M(base) {
-		return &PromoteError{Reason: "not a 2MB mapping"}
+		return promoteErr(PromoteNotMapped, "not a 2MB mapping")
 	}
 	v := p.vmaOf(base)
 	if v == nil {
-		return &PromoteError{Reason: "outside VMAs"}
+		return promoteErr(PromoteVMABoundary, "outside VMAs")
 	}
 	r := mem.Region{Base: base, Size: mem.Page2M}
 	p.Table.Unmap(base, mem.Page2M)

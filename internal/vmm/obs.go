@@ -44,6 +44,7 @@ func (m *Machine) Metrics() obs.Snapshot {
 	s := obs.Snapshot{}
 	s.Add("machine.accesses", float64(m.accessCount))
 	s.Add("machine.promotion_failures", float64(m.PromotionFailures))
+	s.Add("machine.pressure_demotions", float64(m.PressureDemotions))
 	s.Add("machine.background_cycles", math.Round(m.BackgroundCycles))
 	s.Add("machine.events", float64(m.events.Total()))
 	for _, c := range m.cores {

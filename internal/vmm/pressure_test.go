@@ -1,0 +1,143 @@
+package vmm
+
+import (
+	"reflect"
+	"testing"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/physmem"
+)
+
+// pressureConfig returns a small fragmented machine with the full pressure
+// model on and a fast tick.
+func pressureConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Phys = physmem.Config{TotalBytes: 64 << 21, MovableFillRatio: 0.5}
+	cfg.FragFrac = 0.5
+	cfg.PromotionInterval = 2_000
+	cfg.Pressure = PressureConfig{
+		Enable:              true,
+		ChurnAllocFrames:    64,
+		ChurnFreeFrames:     32,
+		ChurnPinnedFrac:     0.05,
+		CompactBudgetFrames: 256,
+	}
+	return cfg
+}
+
+func TestPressureChurnAndDaemonRun(t *testing.T) {
+	m := NewMachine(pressureConfig(), nil)
+	p := m.AddProcess("t", testVMA(4), 10)
+	m.Run(&Job{Proc: p, Stream: seqStream(p.Ranges()[0], 6)})
+	st := m.Phys().Stats()
+	if st.ChurnAllocFrames+st.ChurnPinnedFrames == 0 {
+		t.Error("churn source never allocated")
+	}
+	if st.DaemonMigrated == 0 {
+		t.Error("daemon never migrated (fragmented memory with movable data)")
+	}
+	// Daemon work is charged like async promotion work.
+	if m.BackgroundCycles == 0 {
+		t.Error("daemon migrations must charge background cycles")
+	}
+	if bad := m.Audit(); len(bad) > 0 {
+		t.Fatalf("audit violations: %v", bad)
+	}
+}
+
+func TestPressureDisabledIsInert(t *testing.T) {
+	cfg := pressureConfig()
+	cfg.Pressure = PressureConfig{}
+	m := NewMachine(cfg, nil)
+	p := m.AddProcess("t", testVMA(4), 10)
+	m.Run(&Job{Proc: p, Stream: seqStream(p.Ranges()[0], 4)})
+	st := m.Phys().Stats()
+	if st.ChurnAllocFrames != 0 || st.DaemonMigrated != 0 || m.PressureDemotions != 0 {
+		t.Errorf("disabled pressure model did work: %+v demotions=%d", st, m.PressureDemotions)
+	}
+}
+
+func TestPressureDeterministic(t *testing.T) {
+	run := func() (RunResult, interface{}) {
+		m := NewMachine(pressureConfig(), nil)
+		p := m.AddProcess("t", testVMA(4), 10)
+		res := m.Run(&Job{Proc: p, Stream: seqStream(p.Ranges()[0], 6)})
+		return res, m.Metrics()
+	}
+	res1, met1 := run()
+	res2, met2 := run()
+	if !reflect.DeepEqual(res1, res2) {
+		t.Errorf("results differ:\n%+v\n%+v", res1, res2)
+	}
+	if !reflect.DeepEqual(met1, met2) {
+		t.Error("metric snapshots differ between identical pressure runs")
+	}
+}
+
+func TestPressureDemotionUnderWatermark(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Phys = physmem.Config{TotalBytes: 8 << 21} // 8 pristine blocks
+	cfg.PromotionInterval = 1_000
+	cfg.Pressure = PressureConfig{
+		Enable:                true,
+		DemoteWatermarkBlocks: 4,
+		MaxDemotionsPerTick:   2,
+	}
+	m := NewMachine(cfg, nil)
+	p := m.AddProcess("t", testVMA(6), 10)
+	r := p.Ranges()[0]
+	m.Run(&Job{Proc: p, Stream: seqStream(r, 1)})
+	// Promote all 6 regions: free blocks drop to 2, below the watermark.
+	for i := 0; i < 6; i++ {
+		if err := m.Promote2M(p, r.Start+mem.VirtAddr(uint64(i)*uint64(mem.Page2M))); err != nil {
+			t.Fatalf("promotion %d: %v", i, err)
+		}
+	}
+	if m.Phys().FreeBlocks() != 2 {
+		t.Fatalf("setup: free blocks = %d, want 2", m.Phys().FreeBlocks())
+	}
+	// Further ticks reclaim the oldest promotions until the watermark holds.
+	m.Run(&Job{Proc: p, Stream: seqStream(r, 2)})
+	if m.PressureDemotions != 2 {
+		t.Errorf("pressure demotions = %d, want 2 (free 2 -> 4)", m.PressureDemotions)
+	}
+	if m.Phys().FreeBlocks() < 4 {
+		t.Errorf("free blocks = %d, watermark 4 not restored", m.Phys().FreeBlocks())
+	}
+	if p.Demotions != m.PressureDemotions {
+		t.Errorf("process demotions = %d, machine pressure demotions = %d", p.Demotions, m.PressureDemotions)
+	}
+	if bad := m.Audit(); len(bad) > 0 {
+		t.Fatalf("audit violations: %v", bad)
+	}
+}
+
+func TestPromoteErrorKinds(t *testing.T) {
+	kinds := []PromoteErrorKind{
+		PromoteVMABoundary, PromoteAlreadyHuge, PromoteBudgetExhausted,
+		PromoteUntouched, PromoteNoPhysicalBlock, PromoteNotMapped,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("kind %d stringifies to %q", k, s)
+		}
+		seen[s] = true
+		err := promoteErr(k, "detail")
+		if !IsPromoteKind(err, k) {
+			t.Errorf("IsPromoteKind(%v, %v) = false", err, k)
+		}
+		for _, other := range kinds {
+			if other != k && IsPromoteKind(err, other) {
+				t.Errorf("kind %v matches %v", k, other)
+			}
+		}
+	}
+	if PromoteUnknown.String() != "unknown" {
+		t.Error("zero kind must stringify as unknown")
+	}
+	if IsPromoteKind(nil, PromoteNoPhysicalBlock) || IsNoPhysicalBlock(nil) {
+		t.Error("nil error matches no kind")
+	}
+}

@@ -1,0 +1,80 @@
+package vmm
+
+import "errors"
+
+// PromoteErrorKind classifies why a promotion or demotion was refused.
+// Policies branch on the kind (via errors.As or the Is* helpers), never on
+// the human-readable Reason string — a reworded message must not change
+// policy behavior.
+type PromoteErrorKind uint8
+
+const (
+	// PromoteUnknown is the zero value; no constructed error carries it.
+	PromoteUnknown PromoteErrorKind = iota
+	// PromoteVMABoundary: the candidate region crosses a VMA boundary (or
+	// lies outside every VMA) and can never be collapsed.
+	PromoteVMABoundary
+	// PromoteAlreadyHuge: the region is already mapped at the requested size.
+	PromoteAlreadyHuge
+	// PromoteBudgetExhausted: the per-process or machine-wide huge-bytes
+	// budget would be exceeded.
+	PromoteBudgetExhausted
+	// PromoteUntouched: the region holds no mapped pages yet, so there is
+	// nothing to collapse.
+	PromoteUntouched
+	// PromoteNoPhysicalBlock: physical allocation failed — no free block and
+	// compaction could not rebuild one. Policies must stop issuing
+	// promotions for the tick when they see this; retrying cannot succeed
+	// until memory pressure changes.
+	PromoteNoPhysicalBlock
+	// PromoteNotMapped: the demotion target is not mapped at the given size.
+	PromoteNotMapped
+)
+
+// String returns the kind's identifier for logs and tests.
+func (k PromoteErrorKind) String() string {
+	switch k {
+	case PromoteVMABoundary:
+		return "vma-boundary"
+	case PromoteAlreadyHuge:
+		return "already-huge"
+	case PromoteBudgetExhausted:
+		return "budget-exhausted"
+	case PromoteUntouched:
+		return "untouched"
+	case PromoteNoPhysicalBlock:
+		return "no-physical-block"
+	case PromoteNotMapped:
+		return "not-mapped"
+	}
+	return "unknown"
+}
+
+// PromoteError explains a refused promotion or demotion: Kind is the stable
+// machine-readable classification, Reason the human-readable detail.
+type PromoteError struct {
+	Kind   PromoteErrorKind
+	Reason string
+}
+
+func (e *PromoteError) Error() string { return "vmm: promotion refused: " + e.Reason }
+
+// promoteErr builds a typed refusal.
+func promoteErr(kind PromoteErrorKind, reason string) *PromoteError {
+	return &PromoteError{Kind: kind, Reason: reason}
+}
+
+// IsPromoteKind reports whether err is (or wraps) a PromoteError of the
+// given kind.
+func IsPromoteKind(err error, kind PromoteErrorKind) bool {
+	var pe *PromoteError
+	return errors.As(err, &pe) && pe.Kind == kind
+}
+
+// IsNoPhysicalBlock reports whether err means physical allocation failed —
+// the "stop promoting this tick" signal every policy handles.
+func IsNoPhysicalBlock(err error) bool { return IsPromoteKind(err, PromoteNoPhysicalBlock) }
+
+// IsBudgetExhausted reports whether err means the huge-bytes budget is
+// spent for this process or machine.
+func IsBudgetExhausted(err error) bool { return IsPromoteKind(err, PromoteBudgetExhausted) }

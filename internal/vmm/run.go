@@ -184,6 +184,7 @@ func (m *Machine) runBatch(j *Job, batch []trace.Access) {
 		batch = batch[len(seg):]
 		if m.accessCount >= m.nextTick {
 			m.nextTick += m.cfg.PromotionInterval
+			m.pressureTick()
 			if m.policy != nil {
 				m.policy.Tick(m)
 			}

@@ -1,6 +1,7 @@
 package vmm
 
 import (
+	"errors"
 	"testing"
 
 	"pccsim/internal/mem"
@@ -137,12 +138,12 @@ func TestPromoteRefusals(t *testing.T) {
 	// Budget.
 	p.MaxHugeBytes = uint64(mem.Page2M) // already used
 	err := m.Promote2M(p, r.Start+mem.VirtAddr(mem.Page2M))
-	pe, ok := err.(*PromoteError)
-	if !ok || pe.Reason != "budget exhausted" {
+	if !IsBudgetExhausted(err) {
 		t.Fatalf("err = %v", err)
 	}
-	if pe.Error() == "" {
-		t.Error("error must stringify")
+	var pe *PromoteError
+	if !errors.As(err, &pe) || pe.Error() == "" || pe.Kind.String() != "budget-exhausted" {
+		t.Errorf("error must stringify with its kind: %v", err)
 	}
 }
 
@@ -169,8 +170,7 @@ func TestPromoteExhaustsPhysicalBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	err := m.Promote2M(p, r.Start+mem.VirtAddr(2*uint64(mem.Page2M)))
-	pe, ok := err.(*PromoteError)
-	if !ok || pe.Reason != "no physical block available" {
+	if !IsNoPhysicalBlock(err) {
 		t.Fatalf("err = %v", err)
 	}
 	if m.PromotionFailures == 0 {
@@ -345,8 +345,7 @@ func TestSharedHugeBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	err := m.Promote2M(pb, pb.Ranges()[0].Start)
-	pe, ok := err.(*PromoteError)
-	if !ok || pe.Reason != "budget exhausted" {
+	if !IsBudgetExhausted(err) {
 		t.Fatalf("shared budget not enforced: %v", err)
 	}
 	if m.TotalHugeBytes() != uint64(mem.Page2M) {
