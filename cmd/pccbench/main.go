@@ -52,6 +52,7 @@ func main() {
 		numaPolicy = flag.String("numa", "", "enable 2-node NUMA modeling: bind|interleave|local-first (default: off)")
 		budgetList = flag.String("budgets", "", "comma list of budget %s to sweep (runs on the pool, overrides -budget)")
 		workers    = flag.Int("workers", 0, "parallel simulations for -budgets sweeps (0 = GOMAXPROCS)")
+		mshards    = flag.Int("machine-shards", 0, "goroutines the simulated machine may use for independent job groups (0/1 = serial); output is identical at any setting")
 		audit      = flag.Bool("audit", false, "verify machine invariants every policy tick and print the metrics snapshot")
 		eventsFile = flag.String("events", "", "write the simulation event trace to this file")
 		pprofAddr  = flag.String("pprof", "", "serve Go pprof endpoints on this address while running")
@@ -98,6 +99,7 @@ func main() {
 		cfg.PromotionInterval = *interval
 		cfg.PCC2M.Entries = *pccSize
 		cfg.AuditEveryTick = *audit
+		cfg.Shards = *mshards
 		if *churn > 0 || *compact > 0 || *demoteWM > 0 {
 			free := *churnFree
 			if free < 0 {

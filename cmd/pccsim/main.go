@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 0, "override fragmentation seed")
 		plots     = fs.String("plots", "", "also write SVG figures into this directory")
 		workers   = fs.Int("workers", 0, "parallel simulations per experiment (0 = GOMAXPROCS); output is identical at any setting")
+		mshards   = fs.Int("machine-shards", 0, "goroutines one simulated machine may use for independent job groups (0/1 = serial); output is identical at any setting")
 		traceMiB  = fs.Int64("tracecache", 512, "trace record/replay cache budget in MiB (0 disables); output is identical either way")
 		audit     = fs.Bool("audit", false, "verify machine invariants every policy tick and print the merged metrics snapshot")
 		events    = fs.String("events", "", "write the simulation event trace (promotions, PCC dumps, compactions, shootdowns) to this file")
@@ -60,6 +61,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *workers < 0 {
 		fmt.Fprintf(stderr, "pccsim: -workers must be >= 0, got %d\n", *workers)
+		return 2
+	}
+	if *mshards < 0 {
+		fmt.Fprintf(stderr, "pccsim: -machine-shards must be >= 0, got %d\n", *mshards)
 		return 2
 	}
 	if *traceMiB < 0 {
@@ -88,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	o.PlotDir = *plots
 	o.Workers = *workers
+	o.MachineShards = *mshards
 	if *traceMiB == 0 {
 		o.TraceCache = -1 // disabled: always generate streams live
 	} else {

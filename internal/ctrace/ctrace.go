@@ -103,6 +103,10 @@ func NewReplayPolicy(t *Trace) *ReplayPolicy {
 // Name implements vmm.Policy.
 func (r *ReplayPolicy) Name() string { return "replay" }
 
+// BaseFaultOnly marks the fault path as base-pages-only, letting the
+// machine devirtualize it and shard independent jobs (vmm.BaseFaultOnly).
+func (r *ReplayPolicy) BaseFaultOnly() {}
+
 // OnFault implements vmm.Policy: base pages at fault time, as in the live
 // PCC configuration.
 func (r *ReplayPolicy) OnFault(*vmm.Machine, *vmm.Process, mem.VirtAddr) mem.PageSize {

@@ -11,11 +11,12 @@ import (
 var update = flag.Bool("update", false, "rewrite the golden files with the current output")
 
 // TestGolden pins the -quick stdout of the headline figures byte-for-byte.
-// Each figure runs at two worker counts, with the trace record/replay cache
-// both enabled and disabled, and all four runs must produce identical
-// output — the determinism contracts the run pool and the trace cache
-// document — before being compared against testdata/<fig>_quick.golden.
-// Regenerate after an intentional output change with:
+// Each figure runs at two worker counts, two machine-shard counts, and with
+// the trace record/replay cache both enabled and disabled; all eight runs
+// must produce identical output — the determinism contracts the run pool,
+// the sharded machine scheduler, and the trace cache document — before being
+// compared against testdata/<fig>_quick.golden. Regenerate after an
+// intentional output change with:
 //
 //	go test ./internal/experiments -run Golden -update
 func TestGolden(t *testing.T) {
@@ -29,18 +30,21 @@ func TestGolden(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			var got []byte
 			for _, w := range []int{1, 8} {
-				for _, cache := range []int64{0, -1} { // default budget, disabled
-					var buf bytes.Buffer
-					o := QuickOptions(&buf)
-					o.Workers = w
-					o.TraceCache = cache
-					if err := Run(name, o); err != nil {
-						t.Fatalf("%s at %d workers (cache %d): %v", name, w, cache, err)
-					}
-					if got == nil {
-						got = buf.Bytes()
-					} else if !bytes.Equal(got, buf.Bytes()) {
-						t.Fatalf("%s output differs at %d workers, trace cache %d", name, w, cache)
+				for _, shards := range []int{1, 4} {
+					for _, cache := range []int64{0, -1} { // default budget, disabled
+						var buf bytes.Buffer
+						o := QuickOptions(&buf)
+						o.Workers = w
+						o.MachineShards = shards
+						o.TraceCache = cache
+						if err := Run(name, o); err != nil {
+							t.Fatalf("%s at %d workers, %d shards (cache %d): %v", name, w, shards, cache, err)
+						}
+						if got == nil {
+							got = buf.Bytes()
+						} else if !bytes.Equal(got, buf.Bytes()) {
+							t.Fatalf("%s output differs at %d workers, %d machine shards, trace cache %d", name, w, shards, cache)
+						}
 					}
 				}
 			}

@@ -57,6 +57,13 @@ type Options struct {
 	// byte-identical regardless of this setting; it only changes wall
 	// clock.
 	Workers int
+	// MachineShards is the vmm.Config.Shards value every simulated machine
+	// runs with: the goroutine budget one Run may use to execute
+	// independent job groups concurrently (0/1 = serial). Results are
+	// byte-identical at any value. Because each run may then occupy up to
+	// MachineShards OS threads, the grid pool divides its worker budget by
+	// this value so total concurrency stays near the Workers bound.
+	MachineShards int
 	// Audit arms the invariant auditor on every simulated machine: cross
 	// consistency of TLBs, page tables, PCC contents, physical-memory
 	// accounting, and policy ledgers is checked after every policy tick
@@ -78,8 +85,27 @@ type Options struct {
 	TraceCache int64
 }
 
-// pool returns the run pool the options select.
-func (o Options) pool() *RunPool { return &RunPool{workers: poolWorkers(o.Workers), Obs: o.Obs} }
+// pool returns the run pool the options select. Its worker budget is the
+// Workers bound divided by the per-machine shard budget (rounded up), so
+// grid-level and machine-level parallelism compose without oversubscribing
+// the host: Workers bounds the total goroutines simulating, however they
+// are split between concurrent runs and shards within each run.
+func (o Options) pool() *RunPool {
+	return &RunPool{workers: gridWorkers(poolWorkers(o.Workers), o.MachineShards), Obs: o.Obs}
+}
+
+// gridWorkers splits a total worker budget between grid concurrency and
+// per-machine sharding: ceil(total/shards), floored at 1.
+func gridWorkers(total, shards int) int {
+	if shards <= 1 {
+		return total
+	}
+	w := (total + shards - 1) / shards
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // savePlot writes an SVG next to the textual report, logging rather than
 // failing the experiment on I/O errors.
@@ -226,6 +252,7 @@ func (o Options) machineConfig(rc runCfg) vmm.Config {
 	cfg.PCC2M.DisableDecay = rc.noDecay
 	cfg.PCC2M.Replacement = rc.replace
 	cfg.AuditEveryTick = o.Audit
+	cfg.Shards = o.MachineShards
 	if rc.pressureOn() {
 		cfg.Pressure = vmm.PressureConfig{
 			Enable:                true,

@@ -118,6 +118,10 @@ func NewHawkEye(cfg HawkEyeConfig) *HawkEye {
 // Name implements vmm.Policy.
 func (h *HawkEye) Name() string { return "HawkEye" }
 
+// BaseFaultOnly marks the fault path as base-pages-only, letting the
+// machine devirtualize it and shard independent jobs (vmm.BaseFaultOnly).
+func (h *HawkEye) BaseFaultOnly() {}
+
 // OnFault implements vmm.Policy: HawkEye allocates base pages at fault time
 // and promotes asynchronously.
 func (h *HawkEye) OnFault(*vmm.Machine, *vmm.Process, mem.VirtAddr) mem.PageSize {

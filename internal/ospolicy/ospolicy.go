@@ -28,6 +28,10 @@ type Baseline struct{}
 // Name implements vmm.Policy.
 func (Baseline) Name() string { return "4KB" }
 
+// BaseFaultOnly marks the fault path as base-pages-only, letting the
+// machine devirtualize it and shard independent jobs (vmm.BaseFaultOnly).
+func (Baseline) BaseFaultOnly() {}
+
 // OnFault implements vmm.Policy: always base pages.
 func (Baseline) OnFault(*vmm.Machine, *vmm.Process, mem.VirtAddr) mem.PageSize {
 	return mem.Page4K

@@ -122,6 +122,10 @@ func (e *PCCEngine) Name() string {
 	return "PCC(" + e.cfg.Selection.String() + ")"
 }
 
+// BaseFaultOnly marks the fault path as base-pages-only, letting the
+// machine devirtualize it and shard independent jobs (vmm.BaseFaultOnly).
+func (e *PCCEngine) BaseFaultOnly() {}
+
 // OnFault implements vmm.Policy: the PCC design keeps fault-time allocation
 // at 4KB; huge pages come exclusively from informed promotion.
 func (e *PCCEngine) OnFault(*vmm.Machine, *vmm.Process, mem.VirtAddr) mem.PageSize {

@@ -116,6 +116,15 @@ type PCC struct {
 	tick    uint64
 	stats   Stats
 
+	// tags shadows entries[i].tag in a dense array so Record's hit scan —
+	// once per page table walk — touches 8 bytes per probed way instead of
+	// the whole entry struct. A slot's shadow may go stale when its entry is
+	// invalidated (the scan re-checks valid on a tag match); valid entries
+	// always have an exact shadow. nvalid tracks the live entry count so the
+	// miss path only hunts for a free slot when one exists.
+	tags   []mem.PageNum
+	nvalid int
+
 	// order is the scratch ranking buffer Dump reuses: dumps fire every
 	// policy tick in every run, and rebuilding the index slice (plus a
 	// sort closure) each time was measurable allocation churn.
@@ -138,6 +147,7 @@ func New(cfg Config) *PCC {
 		cfg:     cfg,
 		max:     uint32(1)<<uint(cfg.CounterBits) - 1,
 		entries: make([]entry, cfg.Entries),
+		tags:    make([]mem.PageNum, cfg.Entries),
 	}
 }
 
@@ -160,38 +170,42 @@ func (p *PCC) Record(a mem.VirtAddr) {
 	p.stats.Lookups++
 	tag := mem.PageNumber(a, p.cfg.RegionSize)
 
-	freeIdx := -1
-	for i := range p.entries {
+	for i, t := range p.tags {
+		if t != tag || !p.entries[i].valid {
+			continue
+		}
 		e := &p.entries[i]
-		if e.valid && e.tag == tag {
-			p.stats.Hits++
-			e.lastUse = p.tick
-			if e.freq >= p.max {
-				if !p.cfg.DisableDecay {
-					p.decay()
-					e.freq++ // post-halve increment keeps it top-ranked
-				}
-				return
-			}
-			e.freq++
-			if e.freq >= p.max && !p.cfg.DisableDecay {
+		p.stats.Hits++
+		e.lastUse = p.tick
+		if e.freq >= p.max {
+			if !p.cfg.DisableDecay {
 				p.decay()
+				e.freq++ // post-halve increment keeps it top-ranked
 			}
 			return
 		}
-		if !e.valid && freeIdx < 0 {
-			freeIdx = i
+		e.freq++
+		if e.freq >= p.max && !p.cfg.DisableDecay {
+			p.decay()
 		}
+		return
 	}
 
-	// Miss: insert with freq 0.
-	idx := freeIdx
-	if idx < 0 {
+	// Miss: insert with freq 0, into the first free slot if any (the same
+	// slot the historical single-pass scan picked), else into the victim.
+	var idx int
+	if p.nvalid < len(p.entries) {
+		for p.entries[idx].valid {
+			idx++
+		}
+		p.nvalid++
+	} else {
 		idx = p.victim()
 		p.stats.Evictions++
 	}
 	p.stats.Inserts++
 	p.entries[idx] = entry{valid: true, tag: tag, freq: 0, lastUse: p.tick, inserted: p.tick}
+	p.tags[idx] = tag
 }
 
 // victim selects the replacement victim index among valid entries according
@@ -321,6 +335,7 @@ func (p *PCC) Invalidate(a mem.VirtAddr) bool {
 		e := &p.entries[i]
 		if e.valid && e.tag == tag {
 			e.valid = false
+			p.nvalid--
 			p.stats.Invalidates++
 			return true
 		}
@@ -345,6 +360,7 @@ func (p *PCC) InvalidateRange(r mem.Range) int {
 			n++
 		}
 	}
+	p.nvalid -= n
 	p.stats.Invalidates += uint64(n)
 	return n
 }
@@ -355,6 +371,7 @@ func (p *PCC) Clear() {
 	for i := range p.entries {
 		p.entries[i].valid = false
 	}
+	p.nvalid = 0
 }
 
 // Len returns the number of valid entries.

@@ -123,8 +123,15 @@ func (h *Hierarchy) Access(a mem.VirtAddr, size mem.PageSize) Result {
 // recency refresh is invisible to every replacement decision; only the
 // counters the experiments report move.
 func (h *Hierarchy) CountL1Hits(size mem.PageSize, n uint64) {
+	h.CountL1HitsIndexed(sizeIndex(size), n)
+}
+
+// CountL1HitsIndexed is CountL1Hits with the size class pre-resolved to its
+// sizeIndex (0 = 4KB, 1 = 2MB, 2 = 1GB), for callers that already carry the
+// index and want to skip the size switch on the per-access hot path.
+func (h *Hierarchy) CountL1HitsIndexed(si int, n uint64) {
 	h.accesses += n
-	h.l1[sizeIndex(size)].CountHit(n)
+	h.l1[si].CountHit(n)
 }
 
 // Fill installs the translation for a at the given page size after a page

@@ -111,6 +111,11 @@ func (t *TLB) Name() string { return t.name }
 // Entries returns total capacity.
 func (t *TLB) Entries() int { return t.sets * t.ways }
 
+// Sets returns the set count. External MRU filters (the vmm step-level L0
+// translation table) size one slot per set and must index it exactly like
+// setIndex does, so the geometry is part of the structure's contract.
+func (t *TLB) Sets() int { return t.sets }
+
 // Stats returns a copy of the counters.
 func (t *TLB) Stats() Stats { return t.stats }
 

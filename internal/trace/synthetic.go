@@ -39,13 +39,53 @@ func Sequential(base mem.VirtAddr, size uint64, stride uint64, n uint64) Stream 
 	if stride == 0 {
 		stride = 8
 	}
-	var i uint64
+	if stride >= size {
+		// Degenerate geometry: keep the general modulo form.
+		var i uint64
+		return &gen{fill: func(buf []Access) int {
+			k := 0
+			for k < len(buf) && i < n {
+				buf[k] = Access{Addr: base + mem.VirtAddr((i*stride)%size)}
+				i++
+				k++
+			}
+			return k
+		}}
+	}
+	// The common case advances a wrapping offset instead of computing
+	// (i*stride)%size per access. The wrap point is computed per run, not
+	// per access: ceil((size-off)/stride) emissions fit before the offset
+	// wraps, so the inner loop is a bare store-and-add over a subslice
+	// (bounds-check-free via range) with the address carried in a register,
+	// and the wrap adjustment happens once per run. Because off < size and
+	// stride < size, off never overshoots by more than one size, so a single
+	// subtraction restores the invariant — the emitted sequence is identical
+	// to the per-access form.
+	var i, off uint64
 	return &gen{fill: func(buf []Access) int {
-		k := 0
-		for k < len(buf) && i < n {
-			buf[k] = Access{Addr: base + mem.VirtAddr((i*stride)%size)}
-			i++
-			k++
+		k := len(buf)
+		if rem := n - i; uint64(k) > rem {
+			k = int(rem)
+		}
+		i += uint64(k)
+		j := 0
+		for j < k {
+			steps := (size - off + stride - 1) / stride
+			e := k
+			if steps < uint64(k-j) {
+				e = j + int(steps)
+			}
+			a := base + mem.VirtAddr(off)
+			s := buf[j:e]
+			for idx := range s {
+				s[idx] = Access{Addr: a}
+				a += mem.VirtAddr(stride)
+			}
+			off += uint64(e-j) * stride
+			if off >= size {
+				off -= size
+			}
+			j = e
 		}
 		return k
 	}}

@@ -73,6 +73,28 @@ type Config struct {
 	// watermark pressure. The zero value disables all of it, preserving the
 	// static fragment-once model.
 	Pressure PressureConfig
+	// Shards bounds the number of OS threads (goroutines) one Run may use
+	// to execute independent job groups concurrently. 0 or 1 keeps the
+	// historical serial loop. Sharding only engages when the job set
+	// splits into at least two groups sharing no cores and no processes,
+	// the NUMA model is off (its first-touch placement map is written on
+	// the access path), and the policy's fault path is base-pages-only
+	// (see BaseFaultOnly); otherwise Run silently falls back to serial.
+	// Output is byte-identical at every Shards value: cross-group
+	// machinery (policy ticks, pressure ticks, promotions, shootdowns)
+	// runs at deterministic epoch barriers in canonical order.
+	Shards int
+	// PTWMLPWidth models page-table-walk memory-level parallelism: up to
+	// Width consecutive walks on one core with no intervening TLB hit are
+	// treated as independent and overlapped, charging walks 2..Width only
+	// PTWMLPOverlap of their reference cost (Victima's observation that
+	// translation misses cluster and modern walkers overlap them). 0 or 1
+	// disables the model (every walk pays full cost — the historical
+	// behaviour all goldens pin).
+	PTWMLPWidth int
+	// PTWMLPOverlap is the fraction of walk cost charged to overlapped
+	// walks when PTWMLPWidth > 1.
+	PTWMLPOverlap float64
 	// EventLogSize enables the machine's event trace (promotions, demotions,
 	// shootdowns, compactions, policy dumps) with a ring bound of that many
 	// events. 0 disables tracing entirely (zero overhead); negative uses
@@ -123,25 +145,89 @@ type Core struct {
 	// (fault-time huge allocation, shootdowns, visible async work).
 	StallCycles float64
 
-	// l0Proc/l0Page4K/l0Size/l0Cost are the step-level MRU ("L0") filter:
-	// the process (by ID, so arming the filter stores no pointer and incurs
-	// no write barrier), 4KB page, mapping size and base cycle cost of the
-	// last access this core completed. A repeat access to the same page is
-	// by construction an L1 TLB hit on the MRU way of its set, so step can
-	// count and charge it without re-running the translation pipeline —
-	// skipping the recency re-stamp of an already-MRU entry changes no
-	// replacement decision, which keeps results bit-identical. l0Size 0
-	// means no filter; any remap or translation flush clears it (clearL0)
-	// so the filter can never outlive the TLB entry it mirrors.
-	l0Proc   int
+	// The step-level ("L0") translation filter has two parts.
+	//
+	// l0Has/l0SI/l0Proc/l0Page4K/l0Cost are the single-entry MRU filter:
+	// the process (by ID, so arming stores no pointer and incurs no write
+	// barrier), size-class index, 4KB page and base cycle cost of the last
+	// access this core fully translated. A repeat access to the same page
+	// is by construction an L1 TLB hit on the MRU way of its set, so step
+	// can count and charge it without re-running the translation pipeline
+	// — skipping the recency re-stamp of an already-MRU entry changes no
+	// replacement decision, which keeps results bit-identical.
+	//
+	// l04K widens that filter into a direct-mapped software translation
+	// table for the 4KB class: one slot per L1-4K TLB set, indexed exactly
+	// like the L1's set index, each slot recording the last 4KB-mapped
+	// page this core translated whose entry landed in that set. Every full
+	// step leaves its page as the most-recently-used way of its L1 set,
+	// and the only event that can displace that recency is a full step
+	// that overwrites the same slot — so a slot match proves the
+	// translation is still the MRU way of its set and the same
+	// count-without-restamp argument applies. The table survives across
+	// steps and segments, catching working sets that ping-pong between a
+	// handful of pages. Only the 4KB class is widened: huge-page slots
+	// would need one slot per L1-2M/1G set keyed by the huge-page number,
+	// and the adversarial never-repeating regimes that touch them gain
+	// nothing from extra slots while paying the arming store on every
+	// access.
+	//
+	// Any shootdown or translation flush invalidates the single entry and
+	// the whole table in O(1) by bumping l0Gen (clearL0), so no slot
+	// outlives the TLB entry it mirrors.
+	l0Has    bool
+	l0SI     int8
+	l0Proc   int32
 	l0Page4K mem.PageNum
-	l0Size   mem.PageSize
 	l0Cost   float64
+
+	l04K     []l0Slot
+	l04KMask uint64 // sets-1 for power-of-two set counts, else 0
+	l04KSets uint64
+	l0Gen    uint32
+
+	// walkBurst counts consecutive page table walks with no intervening
+	// TLB hit, driving the opt-in PTW memory-level-parallelism model
+	// (Config.PTWMLPWidth). Always zero when the model is off.
+	walkBurst int
 }
 
-// clearL0 drops the core's step-level MRU filter (called on any shootdown or
-// translation invalidation that could touch the filtered entry).
-func (c *Core) clearL0() { c.l0Size = 0 }
+// l0Slot is one entry of the core's step-level translation table. page4K is
+// the exact 4KB page number of the access that armed the slot (so a hit can
+// reuse the armed base cost even when NUMA penalties vary by region), cost
+// its base (no-TLB-miss) cycles-per-access, proc the owning process ID, and
+// gen the l0Gen value at arming time (stale generations are invalid, making
+// clearL0 O(1)).
+type l0Slot struct {
+	page4K mem.PageNum
+	cost   float64
+	proc   int32
+	gen    uint32
+}
+
+// l04KIndex mirrors the L1-4K TLB's setIndex.
+func (c *Core) l04KIndex(vpn mem.PageNum) uint64 {
+	if m := c.l04KMask; m != 0 || c.l04KSets == 1 {
+		return uint64(vpn) & m
+	}
+	return uint64(vpn) % c.l04KSets
+}
+
+// clearL0 drops the core's entire step-level translation filter (called on
+// any shootdown or translation invalidation that could touch a mirrored
+// entry). Generation bumping makes the wide table's clear O(1); on the
+// (practically unreachable) 32-bit wrap the slots are cleared physically so
+// a slot armed 2^32 clears ago can never revalidate.
+func (c *Core) clearL0() {
+	c.l0Has = false
+	c.l0Gen++
+	if c.l0Gen == 0 {
+		for i := range c.l04K {
+			c.l04K[i] = l0Slot{}
+		}
+		c.l0Gen = 1
+	}
+}
 
 // Candidates2M returns whichever 2MB candidate source the core is built
 // with (the PCC or the victim tracker), or nil when tracking is off. OS
@@ -161,6 +247,13 @@ func newCore(id int, cfg Config) *Core {
 		ID:     id,
 		TLB:    tlb.NewHierarchy(cfg.TLB),
 		Walker: ptw.NewWalker(cfg.PWC),
+		l0Gen:  1,
+	}
+	sets := c.TLB.L1(mem.Page4K).Sets()
+	c.l04K = make([]l0Slot, sets)
+	c.l04KSets = uint64(sets)
+	if sets&(sets-1) == 0 {
+		c.l04KMask = uint64(sets - 1)
 	}
 	switch {
 	case cfg.UseVictimTracker:

@@ -72,7 +72,7 @@ func (m *Machine) Promote1G(p *Process, addr mem.VirtAddr) error {
 	}
 	m.events.Recordf(m.accessCount, "promote1g", "proc=%s base=%#x", p.Name, uint64(r.Base))
 
-	m.shootdownAll(mem.Range{Start: r.Base, End: r.End()})
+	m.shootdownAll(m.accessCount, mem.Range{Start: r.Base, End: r.End()})
 	return nil
 }
 
@@ -111,7 +111,7 @@ func (m *Machine) Demote1G(p *Process, addr mem.VirtAddr) error {
 	p.Demotions++
 	m.chargeAll(m.cfg.Cost.PromoteFixed)
 	m.events.Recordf(m.accessCount, "demote1g", "proc=%s base=%#x", p.Name, uint64(base))
-	m.shootdownAll(mem.Range{Start: base, End: r.End()})
+	m.shootdownAll(m.accessCount, mem.Range{Start: base, End: r.End()})
 	return nil
 }
 

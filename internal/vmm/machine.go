@@ -38,6 +38,12 @@ type Machine struct {
 	accessCount uint64 // global simulated-access clock
 	nextTick    uint64
 
+	// policyBase records, once at construction, whether the policy's
+	// fault path is base-pages-only (nil policy or BaseFaultOnly marker):
+	// the fault path then skips the OnFault interface call entirely, and
+	// Run may shard independent job groups across goroutines.
+	policyBase bool
+
 	// numa is nil unless Config.NUMA enables multi-node modeling.
 	numa *numaState
 
@@ -105,12 +111,14 @@ func NewMachine(cfg Config, policy Policy) *Machine {
 	if TestForceAudit {
 		cfg.AuditEveryTick = true
 	}
+	_, baseOnly := policy.(BaseFaultOnly)
 	m := &Machine{
-		cfg:      cfg,
-		phys:     physmem.New(cfg.Phys),
-		policy:   policy,
-		nextTick: cfg.PromotionInterval,
-		numa:     newNUMAState(cfg.NUMA),
+		cfg:        cfg,
+		phys:       physmem.New(cfg.Phys),
+		policy:     policy,
+		policyBase: policy == nil || baseOnly,
+		nextTick:   cfg.PromotionInterval,
+		numa:       newNUMAState(cfg.NUMA),
 	}
 	if cfg.EventLogSize != 0 {
 		m.events = obs.NewEventLog(cfg.EventLogSize)
@@ -154,42 +162,47 @@ func (m *Machine) AddProcess(name string, ranges []mem.Range, baseCPA float64) *
 
 // fault services a first-touch page fault at addr on the given core,
 // consulting the policy for a huge allocation, and charges the fault cost.
-func (m *Machine) fault(c *Core, p *Process, addr mem.VirtAddr) {
+// It runs on the executor because the fault timestamp is the access clock
+// (ex.now) and the base-page allocation is deferred into the executor's
+// counter; the huge path — which mutates cross-core state — is only
+// reachable under non-base-fault policies, which Run never shards.
+func (ex *executor) fault(c *Core, p *Process, addr mem.VirtAddr) {
+	m := ex.m
 	p.Faults++
-	want := mem.Page4K
-	if m.policy != nil {
-		want = m.policy.OnFault(m, p, addr)
-	}
-	if want == mem.Page2M {
-		if r, v, ok := p.regionEligible2M(addr); ok && !m.overHugeBudget(p) {
-			mapped4k, _ := p.mappedPagesIn(v, r)
-			if migrated, allocOK := m.phys.AllocHuge(); allocOK {
-				// Synchronous THP allocation: zeroing 2MB plus any
-				// direct compaction, charged to the faulting core.
-				cost := m.cfg.Cost.FaultBase + m.cfg.Cost.FaultHugeZero +
-					float64(migrated)*m.cfg.Cost.CompactPer4K
-				if migrated > 0 {
-					cost += m.cfg.Cost.DirectCompactStall
-					m.events.Recordf(m.accessCount, "compaction", "proc=%s migrated=%d (fault)", p.Name, migrated)
+	if !m.policyBase {
+		// Dispatch resolved once per machine: base-fault-only policies
+		// never see this call.
+		if want := m.policy.OnFault(m, p, addr); want == mem.Page2M {
+			if r, v, ok := p.regionEligible2M(addr); ok && !m.overHugeBudget(p) {
+				mapped4k, _ := p.mappedPagesIn(v, r)
+				if migrated, allocOK := m.phys.AllocHuge(); allocOK {
+					// Synchronous THP allocation: zeroing 2MB plus any
+					// direct compaction, charged to the faulting core.
+					cost := m.cfg.Cost.FaultBase + m.cfg.Cost.FaultHugeZero +
+						float64(migrated)*m.cfg.Cost.CompactPer4K
+					if migrated > 0 {
+						cost += m.cfg.Cost.DirectCompactStall
+						m.events.Recordf(ex.now, "compaction", "proc=%s migrated=%d (fault)", p.Name, migrated)
+					}
+					c.Cycles += cost
+					c.StallCycles += cost
+					p.Table.Map(r.Base, mem.Page2M)
+					v.setRange(r.Base, r.End(), state2M)
+					p.huge2M[r.Base] = ex.now
+					p.hugeBytes += uint64(mem.Page2M)
+					p.HugeFaults++
+					m.events.Recordf(ex.now, "fault.huge", "proc=%s base=%#x", p.Name, uint64(r.Base))
+					if mapped4k > 0 {
+						// The region had live 4KB PTEs before the collapse
+						// (an earlier huge allocation failed and faults fell
+						// back to base pages); their cached translations must
+						// not survive the remap.
+						m.shootdownAll(ex.now, mem.Range{Start: r.Base, End: r.End()})
+					}
+					return
 				}
-				c.Cycles += cost
-				c.StallCycles += cost
-				p.Table.Map(r.Base, mem.Page2M)
-				v.setRange(r.Base, r.End(), state2M)
-				p.huge2M[r.Base] = m.accessCount
-				p.hugeBytes += uint64(mem.Page2M)
-				p.HugeFaults++
-				m.events.Recordf(m.accessCount, "fault.huge", "proc=%s base=%#x", p.Name, uint64(r.Base))
-				if mapped4k > 0 {
-					// The region had live 4KB PTEs before the collapse
-					// (an earlier huge allocation failed and faults fell
-					// back to base pages); their cached translations must
-					// not survive the remap.
-					m.shootdownAll(mem.Range{Start: r.Base, End: r.End()})
-				}
-				return
+				m.PromotionFailures++
 			}
-			m.PromotionFailures++
 		}
 	}
 	// Base page fault.
@@ -200,7 +213,7 @@ func (m *Machine) fault(c *Core, p *Process, addr mem.VirtAddr) {
 	if v := p.vmaOf(addr); v != nil {
 		v.setRange(base, base+mem.VirtAddr(mem.Page4K), state4K)
 	}
-	m.phys.AllocBase(1)
+	ex.baseAllocs++
 }
 
 func (m *Machine) overHugeBudget(p *Process) bool {
@@ -225,8 +238,10 @@ func (m *Machine) TotalHugeBytes() uint64 {
 
 // shootdownAll invalidates the range on every core: TLBs, walker PWC, and
 // PCC entries (the paper's rule that a TLB shootdown for a region drops the
-// region from the PCC, so no stale candidate survives).
-func (m *Machine) shootdownAll(r mem.Range) {
+// region from the PCC, so no stale candidate survives). now is the access
+// clock to stamp the event with — tick-time callers pass m.accessCount, the
+// fault path its executor clock.
+func (m *Machine) shootdownAll(now uint64, r mem.Range) {
 	dropped := 0
 	for _, c := range m.cores {
 		c.clearL0()
@@ -242,7 +257,7 @@ func (m *Machine) shootdownAll(r mem.Range) {
 			c.Victim.InvalidateRange(r)
 		}
 	}
-	m.events.Recordf(m.accessCount, "shootdown", "range=%#x-%#x dropped=%d", uint64(r.Start), uint64(r.End), dropped)
+	m.events.Recordf(now, "shootdown", "range=%#x-%#x dropped=%d", uint64(r.Start), uint64(r.End), dropped)
 }
 
 // chargeAll adds cycles to every core (shootdown IPIs interrupt everyone).
@@ -300,7 +315,7 @@ func (m *Machine) Promote2M(p *Process, addr mem.VirtAddr) error {
 	}
 	m.events.Recordf(m.accessCount, "promote2m", "proc=%s base=%#x mapped4k=%d", p.Name, uint64(r.Base), mapped4k)
 
-	m.shootdownAll(mem.Range{Start: r.Base, End: r.End()})
+	m.shootdownAll(m.accessCount, mem.Range{Start: r.Base, End: r.End()})
 	return nil
 }
 
@@ -328,7 +343,7 @@ func (m *Machine) Demote2M(p *Process, addr mem.VirtAddr) error {
 	m.phys.FreeHuge()
 	m.chargeAll(m.cfg.Cost.PromoteFixed)
 	m.events.Recordf(m.accessCount, "demote2m", "proc=%s base=%#x", p.Name, uint64(base))
-	m.shootdownAll(mem.Range{Start: base, End: r.End()})
+	m.shootdownAll(m.accessCount, mem.Range{Start: base, End: r.End()})
 	return nil
 }
 

@@ -1,0 +1,94 @@
+package vmm
+
+import (
+	"testing"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/ptw"
+	"pccsim/internal/trace"
+)
+
+// mlpRun simulates one pass over n distinct (never-repeating) 4KB pages with
+// the page walk caches disabled, so every access misses the cold TLB and
+// every walk reads exactly four levels — the walk cost is a known constant
+// and the MLP arithmetic can be asserted exactly.
+func mlpRun(t *testing.T, width int, overlap float64, accs []trace.Access) (float64, uint64) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.EnablePCC = false
+	cfg.PWC = ptw.PWCConfig{}
+	cfg.PTWMLPWidth = width
+	cfg.PTWMLPOverlap = overlap
+	m := NewMachine(cfg, nil)
+	p := m.AddProcess("t", testVMA(4), 10)
+	res := m.Run(&Job{Proc: p, Stream: trace.Slice(accs)})
+	return res.Cycles, res.Walks
+}
+
+func distinctPages(base mem.VirtAddr, n int) []trace.Access {
+	out := make([]trace.Access, n)
+	for i := range out {
+		out[i] = trace.Access{Addr: base + mem.VirtAddr(i)<<12}
+	}
+	return out
+}
+
+// TestPTWMLPOverlap: with MLP width w, walks 2..w of an uninterrupted burst
+// are charged only the overlap fraction of their cost. Overlap 1.0 must be
+// byte-identical to the model being off, and with a constant walk cost the
+// saving at overlap 0.5 is exactly (1-overlap) * walkCost * overlappedWalks.
+func TestPTWMLPOverlap(t *testing.T) {
+	base := testVMA(4)[0].Start
+	accs := distinctPages(base, 12)
+	cost := DefaultConfig().Cost
+	walkCost := cost.WalkBase + 4*cost.WalkRef
+
+	c0, walks := mlpRun(t, 0, 0, accs)
+	if walks != 12 {
+		t.Fatalf("walks = %d, want 12 (every access must miss)", walks)
+	}
+
+	// Width 1 and overlap 1.0 must not change anything.
+	if c1, _ := mlpRun(t, 1, 0.5, accs); c1 != c0 {
+		t.Errorf("width=1 changed cycles: %v vs %v", c1, c0)
+	}
+	if cFull, _ := mlpRun(t, 4, 1.0, accs); cFull != c0 {
+		t.Errorf("overlap=1.0 changed cycles: %v vs %v", cFull, c0)
+	}
+
+	// 12 walks in bursts of 4: leaders at walks 1, 5, 9 pay full cost, the
+	// other 9 pay half.
+	cHalf, _ := mlpRun(t, 4, 0.5, accs)
+	want := c0 - 9*0.5*walkCost
+	if cHalf != want {
+		t.Errorf("overlap=0.5 cycles = %v, want %v (c0=%v, walkCost=%v)", cHalf, want, c0, walkCost)
+	}
+}
+
+// TestPTWMLPBurstResetByHit: a TLB hit — including one served by the L0
+// translation filter — breaks the burst, so the next walk pays full cost
+// again.
+func TestPTWMLPBurstResetByHit(t *testing.T) {
+	base := testVMA(4)[0].Start
+	page := func(i int) mem.VirtAddr { return base + mem.VirtAddr(i)<<12 }
+	// P0 walk (leader), P1 walk (overlapped), P0 again (filter hit, breaks
+	// the burst), P2 walk (leader again), P3 walk (overlapped).
+	accs := []trace.Access{
+		{Addr: page(0)}, {Addr: page(1)}, {Addr: page(0)},
+		{Addr: page(2)}, {Addr: page(3)},
+	}
+	cost := DefaultConfig().Cost
+	walkCost := cost.WalkBase + 4*cost.WalkRef
+
+	c0, walks := mlpRun(t, 0, 0, accs)
+	if walks != 4 {
+		t.Fatalf("walks = %d, want 4", walks)
+	}
+	cHalf, _ := mlpRun(t, 4, 0.5, accs)
+	// Only P1 and P3 overlap; without the hit-breaks-burst rule P2 would
+	// overlap too and the saving would be 3 halves.
+	want := c0 - 2*0.5*walkCost
+	if cHalf != want {
+		t.Errorf("cycles = %v, want %v (hit must reset the burst)", cHalf, want)
+	}
+}

@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"fmt"
+	"sync"
 
 	"pccsim/internal/mem"
 	"pccsim/internal/metrics"
@@ -21,6 +22,16 @@ type Job struct {
 // rotates to the next live job, simulating concurrent execution of multiple
 // processes on a shared clock.
 const jobSlice = 4096
+
+// BaseFaultOnly marks policies whose OnFault always returns mem.Page4K and
+// has no side effects. The machine uses it two ways: the fault path skips
+// the interface call entirely (the dispatch is resolved once per machine),
+// and Run may execute independent job groups on separate OS threads, since
+// no per-access fault can ever allocate huge pages or trigger a cross-core
+// shootdown — all cross-core machinery then happens at tick barriers.
+type BaseFaultOnly interface {
+	BaseFaultOnly()
+}
 
 // RunResult summarizes one simulation run.
 type RunResult struct {
@@ -63,6 +74,35 @@ type ProcResult struct {
 	Footprint     uint64
 }
 
+// liveJob is a Job being drained by Run.
+type liveJob struct {
+	*Job
+	stream   trace.BatchStream
+	accesses uint64
+	done     bool
+}
+
+// executor owns the per-access mutable state of one execution lane: the
+// global access clock position and the deferred base-page allocation
+// counter. The serial Run uses a single executor; the sharded Run gives each
+// worker goroutine its own, setting now per dispatched segment so every
+// access observes exactly the clock value the serial interleaving would
+// have given it. Deferred allocations are pure commutative counters and are
+// flushed into physmem at every synchronization point.
+type executor struct {
+	m          *Machine
+	now        uint64 // global simulated-access clock (pre-increment)
+	baseAllocs uint64 // base-page allocations not yet applied to physmem
+}
+
+// flushAllocs applies the deferred base-page allocation count to physmem.
+func (ex *executor) flushAllocs() {
+	if ex.baseAllocs > 0 {
+		ex.m.phys.AllocBase(ex.baseAllocs)
+		ex.baseAllocs = 0
+	}
+}
+
 // Run drives the machine until every job's stream is exhausted. It may be
 // called once per machine (state accumulates; build a fresh machine per
 // experiment run).
@@ -72,13 +112,13 @@ type ProcResult struct {
 // to batch-segment boundaries and the thread-to-core dispatch hoisted
 // entirely for single-core jobs. Access order — and therefore every result —
 // is identical to the historical one-Next-per-access loop.
+//
+// When Config.Shards > 1 and the job set splits into independent groups
+// (sharing no cores and no processes) under a base-fault-only policy with
+// NUMA off, the groups execute on separate goroutines between policy ticks;
+// all cross-group machinery runs at deterministic epoch barriers, so the
+// output stays byte-identical at every shard count.
 func (m *Machine) Run(jobs ...*Job) RunResult {
-	type liveJob struct {
-		*Job
-		stream   trace.BatchStream
-		accesses uint64
-		done     bool
-	}
 	live := make([]*liveJob, len(jobs))
 	for i, j := range jobs {
 		if len(j.Cores) == 0 {
@@ -92,35 +132,10 @@ func (m *Machine) Run(jobs ...*Job) RunResult {
 		live[i] = &liveJob{Job: j, stream: trace.Batched(j.Stream)}
 	}
 
-	if m.batchBuf == nil {
-		m.batchBuf = make([]trace.Access, jobSlice)
-	}
-	buf := m.batchBuf
-	remaining := len(live)
-	for remaining > 0 {
-		for _, j := range live {
-			if j.done {
-				continue
-			}
-			// Advance this job by exactly jobSlice accesses (short batches
-			// from chunked producers are re-requested) before rotating to
-			// the next live job — the same interleaving the per-access loop
-			// produced.
-			slice := jobSlice
-			for slice > 0 {
-				n := j.stream.NextBatch(buf[:slice])
-				if n == 0 {
-					j.done = true
-					remaining--
-					j.Proc.finished = true
-					j.Proc.RuntimeCycles = m.maxCycles(j.Cores)
-					break
-				}
-				slice -= n
-				j.accesses += uint64(n)
-				m.runBatch(j.Job, buf[:n])
-			}
-		}
+	if groupOf, groups := m.shardGroups(live); groups > 1 {
+		m.runSharded(live, groupOf, groups)
+	} else {
+		m.runSerial(live)
 	}
 
 	if m.cfg.AuditEveryTick {
@@ -160,30 +175,274 @@ func (m *Machine) Run(jobs ...*Job) RunResult {
 	return res
 }
 
+// serialChunk is the batch size used when only one job runs. A single job
+// has no round-robin interleaving, so any chunking yields the identical
+// access sequence — and a small buffer keeps the fill-then-execute round
+// trip resident in L1 instead of streaming 64KB batches through L2.
+const serialChunk = 512
+
+// runSerial is the historical single-threaded drain loop.
+func (m *Machine) runSerial(live []*liveJob) {
+	if m.batchBuf == nil {
+		m.batchBuf = make([]trace.Access, jobSlice)
+	}
+	buf := m.batchBuf
+	ex := &executor{m: m, now: m.accessCount}
+	if len(live) == 1 {
+		j := live[0]
+		small := buf[:serialChunk]
+		for {
+			n := j.stream.NextBatch(small)
+			if n == 0 {
+				break
+			}
+			j.accesses += uint64(n)
+			m.runBatch(ex, j.Job, small[:n])
+		}
+		j.done = true
+		j.Proc.finished = true
+		j.Proc.RuntimeCycles = m.maxCycles(j.Cores)
+		m.accessCount = ex.now
+		ex.flushAllocs()
+		return
+	}
+	remaining := len(live)
+	for remaining > 0 {
+		for _, j := range live {
+			if j.done {
+				continue
+			}
+			// Advance this job by exactly jobSlice accesses (short batches
+			// from chunked producers are re-requested) before rotating to
+			// the next live job — the same interleaving the per-access loop
+			// produced.
+			slice := jobSlice
+			for slice > 0 {
+				n := j.stream.NextBatch(buf[:slice])
+				if n == 0 {
+					j.done = true
+					remaining--
+					j.Proc.finished = true
+					j.Proc.RuntimeCycles = m.maxCycles(j.Cores)
+					break
+				}
+				slice -= n
+				j.accesses += uint64(n)
+				m.runBatch(ex, j.Job, buf[:n])
+			}
+		}
+	}
+	m.accessCount = ex.now
+	ex.flushAllocs()
+}
+
+// shardGroups partitions the jobs into independent groups (union-find over
+// shared cores and shared processes) and reports whether sharded execution
+// is both enabled and worthwhile. A group count of 1 means "run serial" —
+// either sharding is off, a gate fails, or everything is connected.
+func (m *Machine) shardGroups(live []*liveJob) ([]int, int) {
+	if m.cfg.Shards <= 1 || len(live) < 2 || m.numa != nil || !m.policyBase {
+		return nil, 1
+	}
+	parent := make([]int, len(live))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	coreOwner := map[int]int{}
+	procOwner := map[*Process]int{}
+	for i, j := range live {
+		for _, c := range j.Cores {
+			if o, ok := coreOwner[c]; ok {
+				union(i, o)
+			} else {
+				coreOwner[c] = i
+			}
+		}
+		if o, ok := procOwner[j.Proc]; ok {
+			union(i, o)
+		} else {
+			procOwner[j.Proc] = i
+		}
+	}
+	groupOf := make([]int, len(live))
+	next := 0
+	id := map[int]int{}
+	for i := range live {
+		r := find(i)
+		g, ok := id[r]
+		if !ok {
+			g = next
+			id[r] = g
+			next++
+		}
+		groupOf[i] = g
+	}
+	if next < 2 {
+		return nil, 1
+	}
+	return groupOf, next
+}
+
+// shardTask is one unit of work dispatched to a shard worker: a tick-free
+// segment of one job's stream starting at global clock start, or (fin) the
+// job's completion record. buf, when non-nil, is returned to the buffer pool
+// after the task is processed (the segment was the last one sliced from it).
+type shardTask struct {
+	j     *liveJob
+	seg   []trace.Access
+	start uint64
+	buf   []trace.Access
+	fin   bool
+}
+
+// runSharded executes independent job groups on up to Config.Shards worker
+// goroutines. The coordinator replicates the serial scheduler exactly — the
+// same round-robin, the same batch boundaries, the same tick segmentation —
+// but instead of executing each segment it dispatches it, tagged with its
+// global clock position, to the worker owning the job's group. Each group's
+// segments execute in dispatch order on a single worker, and distinct
+// groups share no mutable state between barriers, so every access observes
+// exactly the state and clock it would have observed serially. At each
+// policy tick the coordinator waits for all in-flight work (the epoch
+// barrier), syncs the clock, flushes deferred allocation counters, and runs
+// the tick machinery — promotions, demotions, pressure, shootdowns — alone,
+// in canonical order. Output is therefore byte-identical to runSerial.
+func (m *Machine) runSharded(live []*liveJob, groupOf []int, groups int) {
+	nw := m.cfg.Shards
+	if nw > groups {
+		nw = groups
+	}
+
+	pool := make(chan []trace.Access, nw*2+2)
+	for i := 0; i < cap(pool); i++ {
+		pool <- make([]trace.Access, jobSlice)
+	}
+	var inflight sync.WaitGroup // dispatched-but-unfinished tasks (the barrier)
+	var workers sync.WaitGroup  // worker goroutine lifecycle
+	execs := make([]*executor, nw)
+	queues := make([]chan shardTask, nw)
+	for w := 0; w < nw; w++ {
+		ex := &executor{m: m}
+		execs[w] = ex
+		q := make(chan shardTask, 64)
+		queues[w] = q
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for t := range q {
+				if t.fin {
+					t.j.Proc.finished = true
+					t.j.Proc.RuntimeCycles = m.maxCycles(t.j.Cores)
+				} else {
+					ex.now = t.start
+					ex.runSeg(t.j.Job, t.seg)
+				}
+				if t.buf != nil {
+					pool <- t.buf
+				}
+				inflight.Done()
+			}
+		}()
+	}
+	dispatch := func(w int, t shardTask) {
+		inflight.Add(1)
+		queues[w] <- t
+	}
+	barrier := func() {
+		inflight.Wait()
+		for _, ex := range execs {
+			ex.flushAllocs()
+		}
+	}
+
+	globalNow := m.accessCount
+	remaining := len(live)
+	for remaining > 0 {
+		for ji, j := range live {
+			if j.done {
+				continue
+			}
+			w := groupOf[ji] % nw
+			slice := jobSlice
+			for slice > 0 {
+				buf := <-pool
+				n := j.stream.NextBatch(buf[:slice])
+				if n == 0 {
+					pool <- buf
+					j.done = true
+					remaining--
+					// The completion record (finished flag, runtime = max
+					// cycles over the job's cores) must observe all of the
+					// group's prior work, so it runs on the group's worker,
+					// behind its queue.
+					dispatch(w, shardTask{j: j, fin: true})
+					break
+				}
+				slice -= n
+				j.accesses += uint64(n)
+				batch := buf[:n]
+				for len(batch) > 0 {
+					seg := batch
+					if until := m.nextTick - globalNow; uint64(len(seg)) > until {
+						seg = seg[:until]
+					}
+					batch = batch[len(seg):]
+					t := shardTask{j: j, seg: seg, start: globalNow}
+					if len(batch) == 0 {
+						t.buf = buf
+					}
+					dispatch(w, t)
+					globalNow += uint64(len(seg))
+					if globalNow >= m.nextTick {
+						m.nextTick += m.cfg.PromotionInterval
+						barrier()
+						m.accessCount = globalNow
+						m.pressureTick()
+						if m.policy != nil {
+							m.policy.Tick(m)
+						}
+						if m.cfg.AuditEveryTick {
+							m.auditNow("after policy tick")
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	workers.Wait()
+	for _, ex := range execs {
+		ex.flushAllocs()
+	}
+	m.accessCount = globalNow
+}
+
 // runBatch simulates one batch of accesses for j, firing policy ticks at
 // exactly the per-access points the unbatched loop did: the global access
 // clock only advances inside step, so the distance to the next tick bounds
 // a segment that needs no per-access tick check.
-func (m *Machine) runBatch(j *Job, batch []trace.Access) {
-	var single *Core
-	if len(j.Cores) == 1 {
-		single = m.cores[j.Cores[0]]
-	}
+func (m *Machine) runBatch(ex *executor, j *Job, batch []trace.Access) {
 	for len(batch) > 0 {
 		seg := batch
-		if until := m.nextTick - m.accessCount; uint64(len(seg)) > until {
+		if until := m.nextTick - ex.now; uint64(len(seg)) > until {
 			seg = seg[:until]
 		}
-		if single != nil {
-			m.stepSegment(single, j.Proc, seg)
-		} else {
-			for i := range seg {
-				m.step(m.cores[j.Cores[seg[i].Thread%len(j.Cores)]], j.Proc, seg[i].Addr)
-			}
-		}
+		ex.runSeg(j, seg)
 		batch = batch[len(seg):]
-		if m.accessCount >= m.nextTick {
+		if ex.now >= m.nextTick {
 			m.nextTick += m.cfg.PromotionInterval
+			m.accessCount = ex.now
+			ex.flushAllocs()
 			m.pressureTick()
 			if m.policy != nil {
 				m.policy.Tick(m)
@@ -192,6 +451,18 @@ func (m *Machine) runBatch(j *Job, batch []trace.Access) {
 				m.auditNow("after policy tick")
 			}
 		}
+	}
+}
+
+// runSeg advances one tick-free segment of j, hoisting the thread-to-core
+// dispatch for single-core jobs.
+func (ex *executor) runSeg(j *Job, seg []trace.Access) {
+	if len(j.Cores) == 1 {
+		ex.stepSegment(ex.m.cores[j.Cores[0]], j.Proc, seg)
+		return
+	}
+	for i := range seg {
+		ex.step(ex.m.cores[j.Cores[seg[i].Thread%len(j.Cores)]], j.Proc, seg[i].Addr)
 	}
 }
 
@@ -207,66 +478,120 @@ func (m *Machine) maxCycles(cores []int) float64 {
 }
 
 // step simulates one memory access by process p on core c.
-func (m *Machine) step(c *Core, p *Process, addr mem.VirtAddr) {
-	if c.l0Size != 0 && c.l0Proc == p.ID && mem.PageNumber(addr, mem.Page4K) == c.l0Page4K {
+func (ex *executor) step(c *Core, p *Process, addr mem.VirtAddr) {
+	vpn := mem.PageNum(addr >> 12)
+	proc := int32(p.ID)
+	if c.l0Has && c.l0Proc == proc && c.l0Page4K == vpn {
 		// L0 filter hit: same core, process and 4KB page as this core's
-		// previous access, so the translation is the MRU way of its L1 set
-		// and the full pipeline below would change nothing but counters.
-		m.accessCount++
+		// previous full translation, so the translation is the MRU way of
+		// its L1 set and the full pipeline below would change nothing but
+		// counters.
+		ex.now++
 		c.Accesses++
-		c.TLB.CountL1Hits(c.l0Size, 1)
+		c.TLB.CountL1HitsIndexed(int(c.l0SI), 1)
 		c.Cycles += c.l0Cost
+		if ex.m.cfg.PTWMLPWidth > 1 {
+			c.walkBurst = 0 // an L1 hit, even filter-served, breaks a walk burst
+		}
 		return
 	}
-	m.stepFull(c, p, addr)
+	if s := &c.l04K[c.l04KIndex(vpn)]; s.gen == c.l0Gen && s.page4K == vpn && s.proc == proc {
+		// Wide-table hit: the page is still the MRU way of its L1-4K set.
+		ex.now++
+		c.Accesses++
+		c.TLB.CountL1HitsIndexed(0, 1)
+		c.Cycles += s.cost
+		c.l0Has, c.l0SI, c.l0Proc, c.l0Page4K, c.l0Cost = true, 0, proc, vpn, s.cost
+		if ex.m.cfg.PTWMLPWidth > 1 {
+			c.walkBurst = 0
+		}
+		return
+	}
+	ex.stepFull(c, p, addr)
 }
 
-// stepSegment advances one single-core tick-free segment, hoisting the L0
-// filter state out of step: consecutive accesses to the same 4KB page — the
-// dominant pattern in cache-line-granular traces — reduce to one compare and
-// one float add each. Integer counters for a hit run are batched and flushed
-// before the next full step (and at segment end), so every full step and the
-// tick check observe exactly the access clock the per-access loop produced;
-// Cycles stays a per-access float add in original order so accumulated
-// runtimes are bit-identical.
-func (m *Machine) stepSegment(c *Core, p *Process, seg []trace.Access) {
+// stepSegment advances one single-core tick-free segment, keeping the most
+// recent L0 table entry in registers: consecutive accesses to the same 4KB
+// page — the dominant pattern in cache-line-granular traces — reduce to one
+// compare and one float add each, and a jump to any other L0-resident page
+// costs one table probe. Integer counters for a hit run are batched and
+// flushed before the next full step (and at segment end), so every full
+// step and the tick check observe exactly the access clock the per-access
+// loop produced; Cycles stays a per-access float add in original order so
+// accumulated runtimes are bit-identical.
+func (ex *executor) stepSegment(c *Core, p *Process, seg []trace.Access) {
+	proc := int32(p.ID)
 	var hits uint64
-	l0Page, l0Size, l0Cost := c.l0Page4K, c.l0Size, c.l0Cost
-	l0OK := l0Size != 0 && c.l0Proc == p.ID
+	var hitSI int
+	var runVPN mem.PageNum
+	var runCost float64
+	runOK := false
+	if c.l0Has && c.l0Proc == proc {
+		runVPN, runCost, hitSI, runOK = c.l0Page4K, c.l0Cost, int(c.l0SI), true
+	}
+	// Cycles lives in a register across the segment: the additions happen
+	// in exactly the per-access order (so float accumulation stays
+	// bit-identical), only the load/store per access is hoisted. It is
+	// written back around every stepFull, which mutates c.Cycles itself.
+	cyc := c.Cycles
 	for i := range seg {
 		addr := seg[i].Addr
-		if l0OK && mem.PageNumber(addr, mem.Page4K) == l0Page {
-			c.Cycles += l0Cost
+		vpn := mem.PageNum(addr >> 12)
+		if runOK && vpn == runVPN {
+			cyc += runCost
 			hits++
 			continue
 		}
 		if hits > 0 {
-			m.flushL0Hits(c, l0Size, hits)
+			ex.flushL0Hits(c, hitSI, hits)
 			hits = 0
 		}
-		m.stepFull(c, p, addr)
+		if s := &c.l04K[c.l04KIndex(vpn)]; s.gen == c.l0Gen && s.page4K == vpn && s.proc == proc {
+			// Wide-table hit: start a new same-page run without
+			// re-entering the full pipeline.
+			cyc += s.cost
+			hits = 1
+			hitSI, runVPN, runCost, runOK = 0, vpn, s.cost, true
+			continue
+		}
+		c.Cycles = cyc
+		ex.stepFull(c, p, addr)
+		cyc = c.Cycles
 		// stepFull re-arms the filter for its own access (and a fault may
 		// have cleared other state), so re-read it.
-		l0Page, l0Size, l0Cost = c.l0Page4K, c.l0Size, c.l0Cost
-		l0OK = l0Size != 0 && c.l0Proc == p.ID
+		if c.l0Has && c.l0Proc == proc {
+			hitSI, runVPN, runCost, runOK = int(c.l0SI), c.l0Page4K, c.l0Cost, true
+		} else {
+			runOK = false
+		}
 	}
+	c.Cycles = cyc
 	if hits > 0 {
-		m.flushL0Hits(c, l0Size, hits)
+		ex.flushL0Hits(c, hitSI, hits)
+	}
+	if runOK {
+		// Keep the single-entry filter pointing at the run we ended on, so
+		// the next segment (or a multi-core step) resumes from it.
+		c.l0Has, c.l0SI, c.l0Proc, c.l0Page4K, c.l0Cost = true, int8(hitSI), proc, runVPN, runCost
 	}
 }
 
-// flushL0Hits folds a run of n deferred L0 filter hits into the counters the
+// flushL0Hits folds a run of n deferred L0 table hits into the counters the
 // per-access path would have bumped one at a time.
-func (m *Machine) flushL0Hits(c *Core, size mem.PageSize, n uint64) {
-	m.accessCount += n
+func (ex *executor) flushL0Hits(c *Core, si int, n uint64) {
+	ex.now += n
 	c.Accesses += n
-	c.TLB.CountL1Hits(size, n)
+	c.TLB.CountL1HitsIndexed(si, n)
+	if ex.m.cfg.PTWMLPWidth > 1 {
+		c.walkBurst = 0 // filter-served L1 hits break a walk burst
+	}
 }
 
 // stepFull is the full translation pipeline for one access: VMA lookup,
 // fault handling, TLB hierarchy, page table walk and PCC insertion.
-func (m *Machine) stepFull(c *Core, p *Process, addr mem.VirtAddr) {
-	m.accessCount++
+func (ex *executor) stepFull(c *Core, p *Process, addr mem.VirtAddr) {
+	m := ex.m
+	ex.now++
 	c.Accesses++
 
 	v := p.vmaOf(addr)
@@ -276,20 +601,27 @@ func (m *Machine) stepFull(c *Core, p *Process, addr mem.VirtAddr) {
 		panic(fmt.Sprintf("vmm: access %#x outside VMAs of %s", uint64(addr), p.Name))
 	}
 	var size mem.PageSize
+	var si int
 	switch v.touchAndState(addr) {
 	case state4K:
 		size = mem.Page4K
 	case state2M:
-		size = mem.Page2M
+		size, si = mem.Page2M, 1
 	case state1G:
-		size = mem.Page1G
+		size, si = mem.Page1G, 2
 	default:
-		m.fault(c, p, addr)
+		ex.fault(c, p, addr)
 		s, mapped := p.StateOf(addr)
 		if !mapped {
 			panic(fmt.Sprintf("vmm: fault left %#x unmapped in %s", uint64(addr), p.Name))
 		}
 		size = s
+		switch size {
+		case mem.Page2M:
+			si = 1
+		case mem.Page1G:
+			si = 2
+		}
 	}
 
 	cost := p.BaseCPA
@@ -303,17 +635,36 @@ func (m *Machine) stepFull(c *Core, p *Process, addr mem.VirtAddr) {
 
 	switch c.TLB.Access(addr, size) {
 	case tlb.HitL1:
+		if m.cfg.PTWMLPWidth > 1 {
+			c.walkBurst = 0
+		}
 	case tlb.HitL2:
 		cost += m.cfg.Cost.L2TLBHit
 		if size == mem.Page2M {
-			v.noteUse2M(addr, m.accessCount)
+			v.noteUse2M(addr, ex.now)
+		}
+		if m.cfg.PTWMLPWidth > 1 {
+			c.walkBurst = 0
 		}
 	default: // tlb.Miss → page table walk
 		info := c.Walker.Walk(p.Table, addr)
-		cost += m.cfg.Cost.WalkBase + float64(info.Levels)*m.cfg.Cost.WalkRef
+		walk := m.cfg.Cost.WalkBase + float64(info.Levels)*m.cfg.Cost.WalkRef
+		if w := m.cfg.PTWMLPWidth; w > 1 {
+			// PTW MLP model: consecutive walks with no intervening TLB
+			// hit are independent (no dependent loads between them in
+			// this access model), so the walker overlaps walks 2..w of a
+			// burst with the first, charging only the overlap fraction.
+			c.walkBurst++
+			if c.walkBurst > w {
+				c.walkBurst = 1
+			} else if c.walkBurst > 1 {
+				walk *= m.cfg.PTWMLPOverlap
+			}
+		}
+		cost += walk
 		c.TLB.Fill(addr, size)
 		if size == mem.Page2M {
-			v.noteUse2M(addr, m.accessCount)
+			v.noteUse2M(addr, ex.now)
 		}
 
 		// PCC insertion path (Fig. 3): gated by the pre-walk accessed
@@ -335,6 +686,16 @@ func (m *Machine) stepFull(c *Core, p *Process, addr mem.VirtAddr) {
 
 	// Arm the L0 filter: whichever path ran, the translation this access
 	// used is now the MRU way of its L1 set, so a repeat access to the same
-	// 4KB page is an L1 hit at the base (no-TLB-miss) cost.
-	c.l0Proc, c.l0Page4K, c.l0Size, c.l0Cost = p.ID, mem.PageNumber(addr, mem.Page4K), size, baseCost
+	// 4KB page is an L1 hit at the base (no-TLB-miss) cost. 4KB-mapped
+	// pages additionally arm their set's slot in the wide table.
+	vpn4k := mem.PageNum(addr >> 12)
+	proc := int32(p.ID)
+	c.l0Has, c.l0SI, c.l0Proc, c.l0Page4K, c.l0Cost = true, int8(si), proc, vpn4k, baseCost
+	if si == 0 {
+		s := &c.l04K[c.l04KIndex(vpn4k)]
+		s.page4K = vpn4k
+		s.cost = baseCost
+		s.proc = proc
+		s.gen = c.l0Gen
+	}
 }

@@ -12,9 +12,17 @@
 #
 #   scripts/benchdiff.sh HEAD~1
 #   scripts/benchdiff.sh 3efe74e 'RunStream' ./internal/vmm
+#   THRESHOLD=10 scripts/benchdiff.sh c43f4b5        # CI regression gate
 #
-# Output is a before/after table of ns/op (and B/op, allocs/op as reported
-# by -benchmem). Pass BENCHTIME=5s to change the per-benchmark budget.
+# Each benchmark runs COUNT times (default 5, floor 5 — single samples on a
+# noisy host are meaningless) on both trees and the table compares per-
+# benchmark MEDIANS of ns/op. Environment knobs:
+#
+#   BENCHTIME  per-benchmark budget per repetition (default 2s)
+#   COUNT      repetitions per benchmark (default 5; values < 5 are raised)
+#   THRESHOLD  max tolerated regression in percent; when set, any benchmark
+#              whose median ns/op regresses by more than this exits 1 after
+#              the table prints (unset: report only)
 set -eu
 
 ref=${1:?usage: scripts/benchdiff.sh <ref> [bench-regex] [packages...]}
@@ -22,17 +30,43 @@ regex=${2:-'Step|RunStream|EmitChunk|Walk|TLBAccess|PCCRecord'}
 if [ $# -ge 2 ]; then shift 2; else shift $#; fi
 pkgs=${*:-"./internal/vmm ./internal/workloads ./internal/tlb ./internal/ptw ./internal/pcc"}
 benchtime=${BENCHTIME:-2s}
+count=${COUNT:-5}
+[ "$count" -ge 5 ] 2>/dev/null || count=5
+threshold=${THRESHOLD:-}
 
 root=$(git rev-parse --show-toplevel)
 cd "$root"
 
+# run_bench prints "name ns_per_op" once per repetition per benchmark.
 run_bench() (
     cd "$1"
-    # -run ^$ skips tests; count=1 keeps the table one line per benchmark.
+    # -run ^$ skips tests; -count repeats so medians absorb host noise.
     # shellcheck disable=SC2086 — word-splitting of $pkgs is intended.
-    go test -run '^$' -bench "$regex" -benchmem -benchtime "$benchtime" -count 1 $pkgs 2>/dev/null |
-        awk '/^Benchmark/ { sub(/-[0-9]+$/, "", $1); $2 = ""; print }'
+    go test -run '^$' -bench "$regex" -benchtime "$benchtime" -count "$count" $pkgs 2>/dev/null |
+        awk '/^Benchmark/ { sub(/-[0-9]+$/, "", $1); print $1, $3 }'
 )
+
+# medians reduces "name value" lines to one "name median" line per name,
+# preserving first-seen order.
+medians() {
+    awk '
+        { v[$1] = v[$1] " " $2; if (!($1 in seen)) { seen[$1] = 1; order[++n] = $1 } }
+        END {
+            for (i = 1; i <= n; i++) {
+                name = order[i]
+                cnt = split(v[name], a, " ")
+                # insertion sort: COUNT is tiny
+                for (x = 2; x <= cnt; x++) {
+                    val = a[x] + 0
+                    for (y = x - 1; y >= 1 && a[y] + 0 > val; y--) a[y+1] = a[y]
+                    a[y+1] = val
+                }
+                if (cnt % 2) m = a[(cnt+1)/2]
+                else m = (a[cnt/2] + a[cnt/2+1]) / 2
+                print name, m
+            }
+        }'
+}
 
 wt=$(mktemp -d "${TMPDIR:-/tmp}/benchdiff.XXXXXX")
 cleanup() {
@@ -41,25 +75,38 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-echo "benchdiff: baseline $ref vs working tree ($(git rev-parse --short HEAD)+dirty?)" >&2
+echo "benchdiff: baseline $ref vs working tree ($(git rev-parse --short HEAD)+dirty?), $count reps x $benchtime" >&2
 git worktree add --detach --quiet "$wt/base" "$ref"
 
-before=$(run_bench "$wt/base")
-after=$(run_bench "$root")
+before=$(run_bench "$wt/base" | medians)
+after=$(run_bench "$root" | medians)
 
 echo
-echo "== before ($ref) =="
-echo "$before"
-echo
-echo "== after (working tree) =="
-echo "$after"
-echo
-echo "== delta (ns/op) =="
-printf '%s\n' "$before" | while read -r name rest; do
+echo "== median ns/op over $count reps =="
+printf '%-34s %12s %12s %8s\n' benchmark "base($ref)" current delta
+fail=0
+for name in $(printf '%s\n' "$before" | awk '{ print $1 }'); do
     b=$(printf '%s\n' "$before" | awk -v n="$name" '$1 == n { print $2 }')
     a=$(printf '%s\n' "$after"  | awk -v n="$name" '$1 == n { print $2 }')
     [ -n "$a" ] && [ -n "$b" ] || continue
-    awk -v n="$name" -v b="$b" -v a="$a" 'BEGIN {
-        printf "%-32s %12.2f -> %12.2f   %+6.1f%%\n", n, b, a, (a - b) / b * 100
-    }'
+    line=$(awk -v n="$name" -v b="$b" -v a="$a" 'BEGIN {
+        printf "%-34s %12.2f %12.2f %+7.1f%%", n, b, a, (a - b) / b * 100
+    }')
+    over=0
+    if [ -n "$threshold" ]; then
+        over=$(awk -v b="$b" -v a="$a" -v t="$threshold" \
+            'BEGIN { print ((a - b) / b * 100 > t) ? 1 : 0 }')
+    fi
+    if [ "$over" = 1 ]; then
+        echo "$line  REGRESSION(>$threshold%)"
+        fail=1
+    else
+        echo "$line"
+    fi
 done
+
+if [ "$fail" = 1 ]; then
+    echo
+    echo "benchdiff: regression beyond ${threshold}% detected" >&2
+    exit 1
+fi
