@@ -16,16 +16,25 @@
 // Performance flags: -workers parallelizes the grid simulations and
 // -tracecache bounds the shared trace record/replay cache (0 disables it);
 // neither changes any experiment's output.
+//
+// Daemon mode: -serve addr runs a long-lived HTTP server accepting
+// experiment grids (POST /jobs) and streaming progress; with -checkpoint it
+// saves completed work on SIGTERM and, restarted with -restore, finishes
+// the pending grid. See internal/daemon.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"pccsim/internal/daemon"
 	"pccsim/internal/experiments"
 	"pccsim/internal/obs"
 	"pccsim/internal/workloads"
@@ -55,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		audit     = fs.Bool("audit", false, "verify machine invariants every policy tick and print the merged metrics snapshot")
 		events    = fs.String("events", "", "write the simulation event trace (promotions, PCC dumps, compactions, shootdowns) to this file")
 		pprofAddr = fs.String("pprof", "", "serve Go pprof endpoints on this address (e.g. localhost:6060) while running")
+		serveAddr = fs.String("serve", "", "run as a long-lived daemon serving the experiment HTTP API on this address (e.g. localhost:8080); -exp is ignored")
+		ckptPath  = fs.String("checkpoint", "", "grid checkpoint file the daemon writes on SIGTERM/SIGINT (requires -serve)")
+		restore   = fs.Bool("restore", false, "resume pending grid work from -checkpoint at startup (requires -serve and -checkpoint)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,33 +83,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pccsim: -tracecache must be >= 0 MiB, got %d\n", *traceMiB)
 		return 2
 	}
+	if *ckptPath != "" && *serveAddr == "" {
+		fmt.Fprintln(stderr, "pccsim: -checkpoint requires -serve")
+		return 2
+	}
+	if *restore && *ckptPath == "" {
+		fmt.Fprintln(stderr, "pccsim: -restore requires -checkpoint")
+		return 2
+	}
 
-	o := experiments.DefaultOptions(stdout)
-	if *quick {
-		o = experiments.QuickOptions(stdout)
+	// buildOptions assembles the experiment options for a given report
+	// writer: the one-shot CLI path uses stdout; the daemon builds a fresh
+	// set (with a per-job buffer) for every job it runs.
+	buildOptions := func(out io.Writer) experiments.Options {
+		o := experiments.DefaultOptions(out)
+		if *quick {
+			o = experiments.QuickOptions(out)
+		}
+		if *full {
+			o = experiments.FullOptions(out)
+		}
+		if *scale > 0 {
+			o.Scale = *scale
+		}
+		if *interval > 0 {
+			o.Interval = *interval
+		}
+		if *accesses > 0 {
+			o.SynthAccesses = *accesses
+		}
+		if *seed != 0 {
+			o.Seed = *seed
+		}
+		o.PlotDir = *plots
+		o.Workers = *workers
+		o.MachineShards = *mshards
+		if *traceMiB == 0 {
+			o.TraceCache = -1 // disabled: always generate streams live
+		} else {
+			o.TraceCache = *traceMiB << 20
+		}
+		return o
 	}
-	if *full {
-		o = experiments.FullOptions(stdout)
-	}
-	if *scale > 0 {
-		o.Scale = *scale
-	}
-	if *interval > 0 {
-		o.Interval = *interval
-	}
-	if *accesses > 0 {
-		o.SynthAccesses = *accesses
-	}
-	if *seed != 0 {
-		o.Seed = *seed
-	}
-	o.PlotDir = *plots
-	o.Workers = *workers
-	o.MachineShards = *mshards
-	if *traceMiB == 0 {
-		o.TraceCache = -1 // disabled: always generate streams live
-	} else {
-		o.TraceCache = *traceMiB << 20
+	o := buildOptions(stdout)
+
+	if *serveAddr != "" {
+		srv, err := daemon.New(daemon.Config{
+			BaseOptions:    buildOptions,
+			CheckpointPath: *ckptPath,
+			Resume:         *restore,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "pccsim: -serve: %v\n", err)
+			return 1
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := srv.ListenAndServe(ctx, *serveAddr); err != nil {
+			fmt.Fprintf(stderr, "pccsim: -serve: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *exp == "list" {

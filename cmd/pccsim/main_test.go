@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -68,5 +70,42 @@ func TestListIsTheDefaultAndSucceeds(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("list output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestCheckpointWithoutServeRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-checkpoint", "/tmp/x.json"}, &out, &errOut); code == 0 {
+		t.Fatal("-checkpoint without -serve must exit non-zero")
+	}
+	if !strings.Contains(errOut.String(), "-checkpoint requires -serve") {
+		t.Errorf("stderr must explain the -checkpoint constraint:\n%s", errOut.String())
+	}
+}
+
+func TestRestoreWithoutCheckpointRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-serve", "localhost:0", "-restore"}, &out, &errOut); code == 0 {
+		t.Fatal("-restore without -checkpoint must exit non-zero")
+	}
+	if !strings.Contains(errOut.String(), "-restore requires -checkpoint") {
+		t.Errorf("stderr must explain the -restore constraint:\n%s", errOut.String())
+	}
+}
+
+// TestServeRefusesCorruptCheckpoint pins that a daemon asked to resume from
+// a damaged grid file fails loudly at startup instead of serving with the
+// grid silently dropped.
+func TestServeRefusesCorruptCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-serve", "localhost:0", "-checkpoint", path, "-restore"}, &out, &errOut); code != 1 {
+		t.Fatalf("corrupt checkpoint must exit 1, got %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "corrupt checkpoint") {
+		t.Errorf("stderr must name the corrupt checkpoint:\n%s", errOut.String())
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"pccsim/internal/pcc"
 	"pccsim/internal/physmem"
 	"pccsim/internal/plot"
+	"pccsim/internal/snapshot"
 	"pccsim/internal/tlb"
 	"pccsim/internal/vmm"
 	"pccsim/internal/workloads"
@@ -83,6 +84,17 @@ type Options struct {
 	// value disables caching (every run generates its stream live). Replays
 	// are byte-identical to live emission, so this never changes results.
 	TraceCache int64
+	// SnapshotCut, when non-nil, routes every runOne simulation through a
+	// full checkpoint/restore cycle: the run pauses at the access-clock cut
+	// the hook returns for the run's identity (0 = run uninterrupted), the
+	// machine's complete state is serialized through the snapshot container,
+	// decoded back, restored into a second, freshly built machine, and the
+	// run finishes there. Results are pinned byte-identical to the
+	// uninterrupted run at every cut point — the resume-equivalence suite
+	// sweeps seeded random cuts across the goldens matrix to prove it. A cut
+	// past the end of the stream checkpoints a completed machine, which is
+	// valid and equally exercised.
+	SnapshotCut func(name string) uint64
 }
 
 // pool returns the run pool the options select. Its worker budget is the
@@ -272,50 +284,101 @@ func (o Options) machineConfig(rc runCfg) vmm.Config {
 
 // runOne simulates workload wl (built from spec s) under rc and returns the
 // result. The spec routes the access stream through the trace cache when it
-// is enabled.
+// is enabled. With SnapshotCut set, the simulation is split across a
+// checkpoint/restore cycle instead of a single Run — by contract with the
+// same result.
 func (o Options) runOne(s workloads.Spec, wl workloads.Workload, rc runCfg) vmm.RunResult {
 	if rc.threads < 1 {
 		rc.threads = 1
 	}
-	cfg := o.machineConfig(rc)
+	build := func() (*vmm.Machine, *vmm.Job) {
+		cfg := o.machineConfig(rc)
 
-	var policy vmm.Policy
-	var engine *ospolicy.PCCEngine
-	switch rc.kind {
-	case polBaseline:
-		policy = ospolicy.Baseline{}
-	case polIdeal:
-		policy = ospolicy.AllHuge{}
-	case polPCC:
-		ec := ospolicy.DefaultPCCEngineConfig()
-		ec.Selection = rc.selection
-		ec.EnableDemotion = rc.demote
-		engine = ospolicy.NewPCCEngine(ec)
-		policy = engine
-	case polHawkEye:
-		policy = ospolicy.NewHawkEye(ospolicy.DefaultHawkEyeConfig())
-	case polLinux:
-		policy = ospolicy.NewLinuxTHP(ospolicy.DefaultLinuxTHPConfig())
+		var policy vmm.Policy
+		var engine *ospolicy.PCCEngine
+		switch rc.kind {
+		case polBaseline:
+			policy = ospolicy.Baseline{}
+		case polIdeal:
+			policy = ospolicy.AllHuge{}
+		case polPCC:
+			ec := ospolicy.DefaultPCCEngineConfig()
+			ec.Selection = rc.selection
+			ec.EnableDemotion = rc.demote
+			engine = ospolicy.NewPCCEngine(ec)
+			policy = engine
+		case polHawkEye:
+			policy = ospolicy.NewHawkEye(ospolicy.DefaultHawkEyeConfig())
+		case polLinux:
+			policy = ospolicy.NewLinuxTHP(ospolicy.DefaultLinuxTHPConfig())
+		}
+
+		m := vmm.NewMachine(cfg, policy)
+		p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
+		if rc.budgetPct > 0 && rc.budgetPct < 100 {
+			p.MaxHugeBytes = uint64(rc.budgetPct / 100 * float64(wl.Footprint()))
+		}
+		cores := make([]int, rc.threads)
+		for i := range cores {
+			cores[i] = i
+			if engine != nil {
+				engine.Bind(i, p)
+			}
+		}
+		return m, &vmm.Job{Proc: p, Stream: o.streamFor(s, wl), Cores: cores}
 	}
 
-	m := vmm.NewMachine(cfg, policy)
-	p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
-	if rc.budgetPct > 0 && rc.budgetPct < 100 {
-		p.MaxHugeBytes = uint64(rc.budgetPct / 100 * float64(wl.Footprint()))
-	}
-	cores := make([]int, rc.threads)
-	for i := range cores {
-		cores[i] = i
-		if engine != nil {
-			engine.Bind(i, p)
+	if o.SnapshotCut != nil {
+		name := fmt.Sprintf("%s/%v/f%g/b%g/t%d/i%d",
+			wl.Name(), rc.kind, rc.frag, rc.budgetPct, rc.threads, rc.interval)
+		if cut := o.SnapshotCut(name); cut > 0 {
+			return o.runOneWithCut(name, cut, build, wl, rc)
 		}
 	}
+
+	m, job := build()
 	// Run drains the stream, but an abort (panic, pool cancellation) must
 	// still terminate the workload's producer goroutine.
-	st := o.streamFor(s, wl)
-	defer workloads.CloseStream(st)
-	res := m.Run(&vmm.Job{Proc: p, Stream: st, Cores: cores})
+	defer workloads.CloseStream(job.Stream)
+	res := m.Run(job)
 	o.observe(m, wl, rc)
+	return res
+}
+
+// runOneWithCut executes one simulation across a checkpoint/restore cycle:
+// run to the cut, serialize the machine through the snapshot container,
+// restore the decoded state into a second machine built from scratch, and
+// finish there. Any failure is a violated invariant, so it panics like the
+// auditor does.
+func (o Options) runOneWithCut(name string, cut uint64,
+	build func() (*vmm.Machine, *vmm.Job), wl workloads.Workload, rc runCfg) vmm.RunResult {
+	m1, job1 := build()
+	func() {
+		defer workloads.CloseStream(job1.Stream)
+		if err := m1.StartRun(job1); err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", name, err))
+		}
+		m1.RunUntil(cut)
+	}()
+	data, err := snapshot.EncodeBytes(snapshot.Capture(m1, name))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: checkpoint at %d: %v", name, cut, err))
+	}
+	snap, err := snapshot.DecodeBytes(data)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: decoding checkpoint: %v", name, err))
+	}
+
+	m2, job2 := build()
+	defer workloads.CloseStream(job2.Stream)
+	if err := snapshot.Restore(m2, snap); err != nil {
+		panic(fmt.Sprintf("experiments: %s: restore at %d: %v", name, cut, err))
+	}
+	if err := m2.StartRun(job2); err != nil {
+		panic(fmt.Sprintf("experiments: %s: resume at %d: %v", name, cut, err))
+	}
+	res := m2.FinishRun()
+	o.observe(m2, wl, rc)
 	return res
 }
 

@@ -138,3 +138,11 @@ func (o Options) streamFor(s workloads.Spec, wl workloads.Workload) trace.Stream
 	}
 	return sharedTraceCache.stream(traceKey(s), budget, wl.Stream)
 }
+
+// TraceCacheStats reports the process-wide trace cache's contents: how many
+// workload streams are cached and their total encoded size. The daemon's
+// health endpoint surfaces it, and tests use it to assert that concurrent
+// jobs share recordings instead of regenerating streams.
+func TraceCacheStats() (recordings int, bytes int64) {
+	return sharedTraceCache.stats()
+}

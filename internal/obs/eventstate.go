@@ -1,0 +1,46 @@
+package obs
+
+// EventLogState is the serializable state of one EventLog: the retained
+// events in chronological order plus the all-time total (which fixes the
+// drop count and the ring write position on restore). Capacity is
+// configuration and is carried so the restored ring matches the original's
+// retention behaviour exactly.
+type EventLogState struct {
+	Capacity int
+	Events   []Event
+	Total    uint64
+}
+
+// State returns a copy of the log's state; a nil log returns a zero state
+// (Capacity 0), which RestoreEventLog maps back to a nil log.
+func (l *EventLog) State() EventLogState {
+	if l == nil {
+		return EventLogState{}
+	}
+	return EventLogState{Capacity: cap(l.buf), Events: l.Events(), Total: l.total}
+}
+
+// RestoreEventLog rebuilds a log from a snapshot, reproducing the original's
+// exact ring layout: each retained event returns to the slot its sequence
+// number maps to, so the next Record overwrites precisely the event it would
+// have overwritten on the uninterrupted run.
+func RestoreEventLog(s EventLogState) *EventLog {
+	if s.Capacity == 0 {
+		return nil
+	}
+	l := &EventLog{buf: make([]Event, 0, s.Capacity), total: s.Total}
+	if s.Total <= uint64(s.Capacity) {
+		// The ring never wrapped: chronological order is slot order.
+		n := len(s.Events)
+		if n > s.Capacity {
+			n = s.Capacity
+		}
+		l.buf = append(l.buf, s.Events[:n]...)
+		return l
+	}
+	l.buf = l.buf[:s.Capacity]
+	for _, e := range s.Events {
+		l.buf[int((e.Seq-1)%uint64(s.Capacity))] = e
+	}
+	return l
+}

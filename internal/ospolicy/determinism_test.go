@@ -1,0 +1,97 @@
+package ospolicy
+
+import (
+	"testing"
+
+	"pccsim/internal/mem"
+	"pccsim/internal/vmm"
+)
+
+// TestSelectVictimTieBreakCoversPID is the regression test for the demotion
+// victim tie-break: two processes holding equally-cold regions at the same
+// virtual base used to race on map iteration order (the comparison skipped
+// the pid), so the demoted region differed run to run. The loop re-evaluates
+// the selection many times — Go randomizes map order per iteration — and a
+// single divergent pick fails.
+func TestSelectVictimTieBreakCoversPID(t *testing.T) {
+	e := NewPCCEngine(DefaultPCCEngineConfig())
+	base := mem.VirtAddr(64 << 20)
+	e.coldTicks = map[demoteKey]int{
+		{pid: 3, base: base}:             4,
+		{pid: 1, base: base}:             4, // tie on coldness and base; lowest pid must win
+		{pid: 2, base: base}:             4,
+		{pid: 1, base: base + (2 << 20)}: 4, // same pid, higher base loses to lower base
+		{pid: 0, base: base + (4 << 20)}: 3, // colder entries always beat warmer ones
+		{pid: 0, base: base + (6 << 20)}: 1, // below minColdTicks: never selected
+	}
+	want := demoteKey{pid: 1, base: base}
+	for i := 0; i < 200; i++ {
+		got, ok := e.selectVictim()
+		if !ok {
+			t.Fatal("no victim selected")
+		}
+		if got != want {
+			t.Fatalf("iteration %d: victim = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestSelectVictimRespectsMinColdTicks pins the floor: regions idle for
+// fewer than two full intervals are never victims.
+func TestSelectVictimRespectsMinColdTicks(t *testing.T) {
+	e := NewPCCEngine(DefaultPCCEngineConfig())
+	e.coldTicks = map[demoteKey]int{
+		{pid: 0, base: 2 << 20}: 1,
+		{pid: 1, base: 4 << 20}: 0,
+	}
+	if v, ok := e.selectVictim(); ok {
+		t.Fatalf("selected %+v from regions below the coldness floor", v)
+	}
+}
+
+// TestHawkPromoteLessTotalOrder is the regression test for HawkEye's
+// promotion ordering: the sort lacked a process tie-break, so two processes'
+// regions at the same base with equal coverage estimates compared equal and
+// the unstable sort promoted a random one first. The comparison must now be
+// a strict total order over distinct (pid, base) regions.
+func TestHawkPromoteLessTotalOrder(t *testing.T) {
+	const bucketWidth = 51.2
+	p0, p1 := &vmm.Process{ID: 0}, &vmm.Process{ID: 1}
+	base := mem.VirtAddr(32 << 20)
+	regions := []*hawkRegion{
+		{proc: p0, base: base, estimate: 400},
+		{proc: p1, base: base, estimate: 400},             // pid tie-break
+		{proc: p1, base: base + (2 << 20), estimate: 400}, // base tie-break
+		{proc: p0, base: base, estimate: 470},             // higher bucket first
+		{proc: p1, base: base, estimate: 420},             // same bucket, higher estimate first
+	}
+	// Pairwise: exactly one of less(a,b) / less(b,a) for distinct regions
+	// (strict total order), and never less(a,a).
+	for i, a := range regions {
+		if hawkPromoteLess(a, a, bucketWidth) {
+			t.Errorf("region %d: less(a,a) = true", i)
+		}
+		for j, b := range regions {
+			if i == j {
+				continue
+			}
+			ab, ba := hawkPromoteLess(a, b, bucketWidth), hawkPromoteLess(b, a, bucketWidth)
+			if ab == ba {
+				t.Errorf("regions %d,%d: less not a strict total order (ab=%v ba=%v)", i, j, ab, ba)
+			}
+		}
+	}
+	// The intended priorities.
+	if !hawkPromoteLess(regions[3], regions[0], bucketWidth) {
+		t.Error("higher bucket must sort first")
+	}
+	if !hawkPromoteLess(regions[4], regions[0], bucketWidth) {
+		t.Error("higher estimate must sort first within a bucket")
+	}
+	if !hawkPromoteLess(regions[0], regions[1], bucketWidth) {
+		t.Error("lower pid must sort first on an estimate tie")
+	}
+	if !hawkPromoteLess(regions[1], regions[2], bucketWidth) {
+		t.Error("lower base must sort first within a process")
+	}
+}

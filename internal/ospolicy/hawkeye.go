@@ -1,11 +1,11 @@
 package ospolicy
 
 import (
-	"math/rand"
 	"sort"
 
 	"pccsim/internal/mem"
 	"pccsim/internal/obs"
+	"pccsim/internal/reprand"
 	"pccsim/internal/vmm"
 )
 
@@ -77,8 +77,10 @@ type regionKey struct {
 // not how many TLB misses they cause, so a fully-streamed region ranks as
 // high as a genuinely TLB-sensitive one until its cleared bits decay.
 type HawkEye struct {
-	cfg     HawkEyeConfig
-	rng     *rand.Rand
+	cfg HawkEyeConfig
+	// rng drives the page sampling; reprand so a checkpoint can pin its
+	// exact stream position.
+	rng     *reprand.Rand
 	regions map[regionKey]*hawkRegion
 
 	ticks    uint64
@@ -110,7 +112,7 @@ func NewHawkEye(cfg HawkEyeConfig) *HawkEye {
 	}
 	return &HawkEye{
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     reprand.New(cfg.Seed),
 		regions: map[regionKey]*hawkRegion{},
 	}
 }
@@ -226,17 +228,10 @@ func (h *HawkEye) promote(m *vmm.Machine) {
 		}
 		list = append(list, r)
 	}
-	// Bucket-major order (higher bucket first); estimate then address as
-	// deterministic tie-breaks.
+	// Bucket-major order (higher bucket first); estimate, process and
+	// address as deterministic tie-breaks.
 	sort.Slice(list, func(i, j int) bool {
-		bi, bj := int(list[i].estimate/bucketWidth), int(list[j].estimate/bucketWidth)
-		if bi != bj {
-			return bi > bj
-		}
-		if list[i].estimate != list[j].estimate {
-			return list[i].estimate > list[j].estimate
-		}
-		return list[i].base < list[j].base
+		return hawkPromoteLess(list[i], list[j], bucketWidth)
 	})
 
 	promoted := 0
@@ -254,4 +249,26 @@ func (h *HawkEye) promote(m *vmm.Machine) {
 			return
 		}
 	}
+}
+
+// hawkPromoteLess is the promotion priority order: higher coverage bucket
+// first, then higher raw estimate, then process ID and region base as total
+// tie-breaks. The (pid, base) pair uniquely identifies a region, so the
+// order is total: without the process tie-break, two processes' regions at
+// the same base with equal estimates compared equal and sort.Slice (which is
+// unstable over map-iteration-ordered input) picked a random winner —
+// run-to-run non-determinism once promotions compete for the last free
+// blocks.
+func hawkPromoteLess(a, b *hawkRegion, bucketWidth float64) bool {
+	ba, bb := int(a.estimate/bucketWidth), int(b.estimate/bucketWidth)
+	if ba != bb {
+		return ba > bb
+	}
+	if a.estimate != b.estimate {
+		return a.estimate > b.estimate
+	}
+	if a.proc.ID != b.proc.ID {
+		return a.proc.ID < b.proc.ID
+	}
+	return a.base < b.base
 }

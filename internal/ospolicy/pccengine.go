@@ -316,18 +316,8 @@ func (e *PCCEngine) sampleIdle(m *vmm.Machine) {
 // paper's "negligible difference with demotion" result, while phased
 // applications get their cold huge pages recycled.
 func (e *PCCEngine) demoteOne(m *vmm.Machine, perCore map[int][]candidate) bool {
-	const minColdTicks = 2
-	var victim demoteKey
-	best := -1
-	for k, ct := range e.coldTicks {
-		if ct < minColdTicks {
-			continue
-		}
-		if ct > best || (ct == best && k.base < victim.base) {
-			victim, best = k, ct
-		}
-	}
-	if best < 0 {
+	victim, ok := e.selectVictim()
+	if !ok {
 		return false
 	}
 	for _, p := range m.Procs() {
@@ -341,6 +331,28 @@ func (e *PCCEngine) demoteOne(m *vmm.Machine, perCore map[int][]candidate) bool 
 		}
 	}
 	return false
+}
+
+// selectVictim picks the demotion victim: the coldest tracked region, with
+// (pid, base) as a total tie-break. The tie-break must cover the process ID:
+// the coldTicks iteration order is randomized, and two processes routinely
+// hold regions at the same virtual base, so breaking ties on base alone left
+// the winner to map order — a run-to-run non-determinism in which region got
+// demoted.
+func (e *PCCEngine) selectVictim() (demoteKey, bool) {
+	const minColdTicks = 2
+	var victim demoteKey
+	best := -1
+	for k, ct := range e.coldTicks {
+		if ct < minColdTicks {
+			continue
+		}
+		if ct > best ||
+			(ct == best && (k.pid < victim.pid || (k.pid == victim.pid && k.base < victim.base))) {
+			victim, best = k, ct
+		}
+	}
+	return victim, best >= 0
 }
 
 // PublishMetrics implements vmm.MetricsPublisher.

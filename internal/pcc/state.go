@@ -1,0 +1,94 @@
+package pcc
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+)
+
+// EntryState is the exported mirror of one PCC/victim-tracker entry for
+// serialization.
+type EntryState struct {
+	Valid    bool
+	Tag      mem.PageNum
+	Freq     uint32
+	LastUse  uint64
+	Inserted uint64
+}
+
+// State is the serializable state of one PCC: all entries (slot order
+// matters — Record's free-slot hunt and the replacement scans are
+// index-ordered), the recency clock, and the counters. Configuration is not
+// serialized; a restore target must be built from the same Config, and
+// SetState checks the capacity. The tags shadow and nvalid are rebuilt from
+// the entries.
+type State struct {
+	Entries []EntryState
+	Tick    uint64
+	Stats   Stats
+}
+
+func entryStates(entries []entry) []EntryState {
+	out := make([]EntryState, len(entries))
+	for i, e := range entries {
+		out[i] = EntryState{Valid: e.valid, Tag: e.tag, Freq: e.freq, LastUse: e.lastUse, Inserted: e.inserted}
+	}
+	return out
+}
+
+func setEntries(dst []entry, src []EntryState) {
+	for i, e := range src {
+		dst[i] = entry{valid: e.Valid, tag: e.Tag, freq: e.Freq, lastUse: e.LastUse, inserted: e.Inserted}
+	}
+}
+
+// State returns a deep copy of the PCC's mutable state.
+func (p *PCC) State() State {
+	return State{Entries: entryStates(p.entries), Tick: p.tick, Stats: p.stats}
+}
+
+// SetState restores the PCC from a snapshot taken on an identically
+// configured instance, rebuilding the dense tags shadow and the valid count.
+func (p *PCC) SetState(s State) error {
+	if len(s.Entries) != len(p.entries) {
+		return fmt.Errorf("pcc: state has %d entries, cache holds %d", len(s.Entries), len(p.entries))
+	}
+	setEntries(p.entries, s.Entries)
+	p.tick = s.Tick
+	p.stats = s.Stats
+	p.nvalid = 0
+	for i := range p.entries {
+		// The shadow must match exactly for valid entries; stale shadows of
+		// invalid slots are re-checked by Record, so rewriting all of them
+		// is safe and reproduces a canonical shadow.
+		p.tags[i] = p.entries[i].tag
+		if p.entries[i].valid {
+			p.nvalid++
+		}
+	}
+	return nil
+}
+
+// VictimState is the serializable state of a VictimTracker.
+type VictimState struct {
+	Entries []EntryState
+	Tick    uint64
+	Stats   Stats
+}
+
+// State returns a deep copy of the tracker's mutable state.
+func (v *VictimTracker) State() VictimState {
+	return VictimState{Entries: entryStates(v.entries), Tick: v.tick, Stats: v.stats}
+}
+
+// SetState restores the tracker from a snapshot taken on a tracker of the
+// same capacity.
+func (v *VictimTracker) SetState(s VictimState) error {
+	if len(s.Entries) != len(v.entries) {
+		return fmt.Errorf("pcc: victim state has %d entries, tracker holds %d", len(s.Entries), len(v.entries))
+	}
+	setEntries(v.entries, s.Entries)
+	v.tick = s.Tick
+	v.stats = s.Stats
+	return nil
+}

@@ -1,0 +1,73 @@
+package physmem
+
+import "fmt"
+
+// State is the full serializable state of the physical memory model: the
+// block classifications, the per-block frame ledgers, the cached tallies,
+// the Fragment seed census (which Audit checks frame conservation against),
+// and every counter. Configuration (TotalBytes, MovableFillRatio) is not
+// serialized; SetState validates the block count against the receiver.
+type State struct {
+	Blocks        []uint8
+	MovableFrames []uint16
+	PinnedFrames  []uint16
+	FreeBlocks    int
+	HugeBlocks    int
+	GigaPages     int
+	MovableTotal  uint64
+	PinnedTotal   uint64
+	SeedMovable   uint64
+	SeedPinned    uint64
+	Stats         Stats
+}
+
+// State returns a deep copy of the model's mutable state.
+func (m *Memory) State() State {
+	blocks := make([]uint8, len(m.blocks))
+	for i, b := range m.blocks {
+		blocks[i] = uint8(b)
+	}
+	return State{
+		Blocks:        blocks,
+		MovableFrames: append([]uint16(nil), m.movableFrames...),
+		PinnedFrames:  append([]uint16(nil), m.pinnedFrames...),
+		FreeBlocks:    m.freeBlocks,
+		HugeBlocks:    m.hugeBlocks,
+		GigaPages:     m.gigaPages,
+		MovableTotal:  m.movableTotal,
+		PinnedTotal:   m.pinnedTotal,
+		SeedMovable:   m.seedMovable,
+		SeedPinned:    m.seedPinned,
+		Stats:         m.stats,
+	}
+}
+
+// SetState restores the model from a snapshot taken on an identically sized
+// memory. Block states are validated so a corrupt snapshot cannot introduce
+// an unknown classification.
+func (m *Memory) SetState(s State) error {
+	n := len(m.blocks)
+	if len(s.Blocks) != n || len(s.MovableFrames) != n || len(s.PinnedFrames) != n {
+		return fmt.Errorf("physmem: state has %d/%d/%d blocks, memory holds %d",
+			len(s.Blocks), len(s.MovableFrames), len(s.PinnedFrames), n)
+	}
+	for i, b := range s.Blocks {
+		if b > uint8(blockHuge) {
+			return fmt.Errorf("physmem: block %d has unknown state %d", i, b)
+		}
+	}
+	for i, b := range s.Blocks {
+		m.blocks[i] = blockState(b)
+	}
+	copy(m.movableFrames, s.MovableFrames)
+	copy(m.pinnedFrames, s.PinnedFrames)
+	m.freeBlocks = s.FreeBlocks
+	m.hugeBlocks = s.HugeBlocks
+	m.gigaPages = s.GigaPages
+	m.movableTotal = s.MovableTotal
+	m.pinnedTotal = s.PinnedTotal
+	m.seedMovable = s.SeedMovable
+	m.seedPinned = s.SeedPinned
+	m.stats = s.Stats
+	return nil
+}

@@ -1,0 +1,151 @@
+package ptw
+
+import "fmt"
+
+// NodeState is the exported mirror of one page-table node for serialization.
+// The layout matches node exactly; keeping a separate exported struct means
+// gob sees only exported fields while the arena node itself stays private.
+type NodeState struct {
+	Children [512]int32
+	Accessed [512]bool
+	Present  [512]bool
+	IsLeaf   [512]bool
+}
+
+// TableState is the full serializable state of one address space's page
+// table: the node arena (including every accessed bit — the PCC cold filter
+// and HawkEye sampling both read them), the free list, and the per-size
+// mapping counts.
+type TableState struct {
+	Nodes   []NodeState
+	Free    []int32
+	Count4K uint64
+	Count2M uint64
+	Count1G uint64
+}
+
+// State returns a deep copy of the table's state.
+func (t *Table) State() TableState {
+	s := TableState{
+		Nodes:   make([]NodeState, len(t.nodes)),
+		Free:    append([]int32(nil), t.free...),
+		Count4K: t.count4K,
+		Count2M: t.count2M,
+		Count1G: t.count1G,
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		s.Nodes[i] = NodeState{
+			Children: n.children,
+			Accessed: n.accessed,
+			Present:  n.present,
+			IsLeaf:   n.isLeaf,
+		}
+	}
+	return s
+}
+
+// SetState overwrites the table from a snapshot. The arena is rebuilt
+// wholesale; child indices are validated so a corrupt snapshot cannot make
+// later walks index out of the arena.
+func (t *Table) SetState(s TableState) error {
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("ptw: table state has no root node")
+	}
+	nodes := make([]node, len(s.Nodes))
+	for i := range s.Nodes {
+		ns := &s.Nodes[i]
+		for _, ci := range ns.Children {
+			if ci < 0 || int(ci) >= len(s.Nodes) {
+				return fmt.Errorf("ptw: node %d has child index %d outside arena of %d", i, ci, len(s.Nodes))
+			}
+		}
+		nodes[i] = node{
+			children: ns.Children,
+			accessed: ns.Accessed,
+			present:  ns.Present,
+			isLeaf:   ns.IsLeaf,
+		}
+	}
+	for _, fi := range s.Free {
+		if fi <= 0 || int(fi) >= len(s.Nodes) {
+			return fmt.Errorf("ptw: free list slot %d outside arena of %d", fi, len(s.Nodes))
+		}
+	}
+	t.nodes = nodes
+	t.free = append([]int32(nil), s.Free...)
+	t.count4K = s.Count4K
+	t.count2M = s.Count2M
+	t.count1G = s.Count1G
+	return nil
+}
+
+// PWCState is the serializable state of one page-walk-cache level. Capacity
+// is configuration; SetState checks the slice lengths against it.
+type PWCState struct {
+	Tick  uint64
+	Tags  []uint64
+	LRU   []uint64
+	Valid []bool
+	Hits  uint64
+	Miss  uint64
+}
+
+func (c *pwcCache) state() PWCState {
+	return PWCState{
+		Tick:  c.tick,
+		Tags:  append([]uint64(nil), c.tags...),
+		LRU:   append([]uint64(nil), c.lru...),
+		Valid: append([]bool(nil), c.valid...),
+		Hits:  c.hits,
+		Miss:  c.miss,
+	}
+}
+
+func (c *pwcCache) setState(s PWCState) error {
+	if len(s.Tags) != c.cap || len(s.LRU) != c.cap || len(s.Valid) != c.cap {
+		return fmt.Errorf("ptw: pwc state has %d/%d/%d slots, cache holds %d",
+			len(s.Tags), len(s.LRU), len(s.Valid), c.cap)
+	}
+	copy(c.tags, s.Tags)
+	copy(c.lru, s.LRU)
+	copy(c.valid, s.Valid)
+	c.tick = s.Tick
+	c.hits = s.Hits
+	c.miss = s.Miss
+	return nil
+}
+
+// WalkerState bundles the three PWC levels and the walker's counters.
+type WalkerState struct {
+	PGD   PWCState
+	PUD   PWCState
+	PMD   PWCState
+	Stats WalkerStats
+}
+
+// State returns a deep copy of the walker's state.
+func (w *Walker) State() WalkerState {
+	return WalkerState{
+		PGD:   w.pgd.state(),
+		PUD:   w.pud.state(),
+		PMD:   w.pmd.state(),
+		Stats: w.stats,
+	}
+}
+
+// SetState restores the walker from a snapshot taken with the same PWC
+// geometry.
+func (w *Walker) SetState(s WalkerState) error {
+	if err := w.pgd.setState(s.PGD); err != nil {
+		return err
+	}
+	if err := w.pud.setState(s.PUD); err != nil {
+		return err
+	}
+	if err := w.pmd.setState(s.PMD); err != nil {
+		return err
+	}
+	w.stats = s.Stats
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package difftest_test
+
+// raceEnabled reports whether the race detector is compiled in; the matrix
+// suite skips under it (it re-runs grids the experiments race tests already
+// cover, and would push the package past the test timeout).
+const raceEnabled = true

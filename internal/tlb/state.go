@@ -1,0 +1,98 @@
+package tlb
+
+import (
+	"fmt"
+
+	"pccsim/internal/mem"
+)
+
+// State is the serializable mutable state of one TLB: the full SoA entry
+// arrays, the MRU hint, the LRU clock, and the counters. Geometry (sets,
+// ways, name) is configuration, not state — a restore target must be built
+// from the same Config, and SetState validates the array lengths against the
+// receiver's geometry so a snapshot can never be poured into a mismatched
+// structure.
+type State struct {
+	VPNs    []mem.PageNum
+	Sizes   []mem.PageSize
+	LRUs    []uint64
+	MRUVPN  mem.PageNum
+	MRUSize mem.PageSize
+	Tick    uint64
+	Stats   Stats
+}
+
+// State returns a deep copy of the TLB's mutable state.
+func (t *TLB) State() State {
+	return State{
+		VPNs:    append([]mem.PageNum(nil), t.vpns...),
+		Sizes:   append([]mem.PageSize(nil), t.sizes...),
+		LRUs:    append([]uint64(nil), t.lrus...),
+		MRUVPN:  t.mruVPN,
+		MRUSize: t.mruSize,
+		Tick:    t.tick,
+		Stats:   t.stats,
+	}
+}
+
+// SetState overwrites the TLB's mutable state from a snapshot taken on an
+// identically configured structure. It deep-copies the slices so the caller
+// may keep or mutate the State afterwards.
+func (t *TLB) SetState(s State) error {
+	n := t.sets * t.ways
+	if len(s.VPNs) != n || len(s.Sizes) != n || len(s.LRUs) != n {
+		return fmt.Errorf("tlb %q: state has %d/%d/%d entries, structure holds %d",
+			t.name, len(s.VPNs), len(s.Sizes), len(s.LRUs), n)
+	}
+	copy(t.vpns, s.VPNs)
+	copy(t.sizes, s.Sizes)
+	copy(t.lrus, s.LRUs)
+	t.mruVPN = s.MRUVPN
+	t.mruSize = s.MRUSize
+	t.tick = s.Tick
+	t.stats = s.Stats
+	return nil
+}
+
+// HierarchyState bundles the five TLB states of one core's hierarchy plus
+// the hierarchy-level counters.
+type HierarchyState struct {
+	L1D4K    State
+	L1D2M    State
+	L1D1G    State
+	L2       State
+	Accesses uint64
+	Walks    uint64
+}
+
+// State returns a deep copy of the hierarchy's mutable state.
+func (h *Hierarchy) State() HierarchyState {
+	return HierarchyState{
+		L1D4K:    h.l1[0].State(),
+		L1D2M:    h.l1[1].State(),
+		L1D1G:    h.l1[2].State(),
+		L2:       h.l2.State(),
+		Accesses: h.accesses,
+		Walks:    h.walks,
+	}
+}
+
+// SetState restores the hierarchy from a snapshot taken on an identically
+// configured hierarchy.
+func (h *Hierarchy) SetState(s HierarchyState) error {
+	if err := h.l1[0].SetState(s.L1D4K); err != nil {
+		return err
+	}
+	if err := h.l1[1].SetState(s.L1D2M); err != nil {
+		return err
+	}
+	if err := h.l1[2].SetState(s.L1D1G); err != nil {
+		return err
+	}
+	if err := h.l2.SetState(s.L2); err != nil {
+		return err
+	}
+	h.accesses = s.Accesses
+	h.walks = s.Walks
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"pccsim/internal/mem"
 	"pccsim/internal/obs"
 	"pccsim/internal/physmem"
+	"pccsim/internal/reprand"
 	"pccsim/internal/trace"
 )
 
@@ -60,8 +61,9 @@ type Machine struct {
 
 	// pressRNG drives the dynamic pressure model (see pressure.go); lazily
 	// seeded from Config.Seed so it is independent of the fragmentation
-	// stream.
-	pressRNG *rand.Rand
+	// stream. Wrapped in reprand so a snapshot can serialize its exact
+	// stream position.
+	pressRNG *reprand.Rand
 
 	// promotionLog records every successful 2MB promotion with its
 	// simulated timestamp — the candidate trace of the paper's two-step
@@ -75,6 +77,12 @@ type Machine struct {
 	// batchBuf is Run's batch-drain buffer, allocated on first use and
 	// reused across Run calls (benchmarks re-Run one machine many times).
 	batchBuf []trace.Access
+
+	// sched is the interruptible runner's position (see RunUntil); nil when
+	// no StartRun-initiated run is in progress. pendingSched is a scheduler
+	// position staged by RestoreState for the next StartRun to resume from.
+	sched        *sched
+	pendingSched *SchedState
 }
 
 // TestForceAudit, when true, forces AuditEveryTick on for every machine

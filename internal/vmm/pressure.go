@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pccsim/internal/mem"
+	"pccsim/internal/reprand"
 )
 
 // Dynamic memory pressure: instead of fragmenting physical memory once at
@@ -63,9 +64,9 @@ func DefaultPressureConfig() PressureConfig {
 // time) so enabling pressure never re-rolls the initial fragment placement.
 func (m *Machine) pressureRand() *rand.Rand {
 	if m.pressRNG == nil {
-		m.pressRNG = rand.New(rand.NewSource(m.cfg.Seed*1_000_003 + 17))
+		m.pressRNG = reprand.New(m.cfg.Seed*1_000_003 + 17)
 	}
-	return m.pressRNG
+	return m.pressRNG.Rand
 }
 
 // pressureTick runs one tick of the dynamic pressure model, before the OS

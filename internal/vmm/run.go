@@ -142,6 +142,12 @@ func (m *Machine) Run(jobs ...*Job) RunResult {
 		m.auditNow("at end of run")
 	}
 
+	return m.collectResult(live)
+}
+
+// collectResult aggregates the completion summary over the run's jobs
+// (shared by Run and FinishRun).
+func (m *Machine) collectResult(live []*liveJob) RunResult {
 	res := RunResult{
 		Accesses:         m.accessCount,
 		BackgroundCycles: m.BackgroundCycles,

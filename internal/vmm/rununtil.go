@@ -1,0 +1,193 @@
+package vmm
+
+import (
+	"fmt"
+
+	"pccsim/internal/trace"
+)
+
+// Interruptible execution. StartRun/RunUntil/FinishRun split Run into
+// resumable pieces: the caller advances the machine to chosen points on the
+// global access clock, may capture a full State() between any two calls, and
+// a restored machine picks the run back up mid-stream.
+//
+// The runner is deliberately serial-only and replicates runSerial's
+// scheduling exactly — the same round-robin order, the same jobSlice
+// quantum, the same serialChunk batching for single-job runs, the same tick
+// firing points (all inside runBatch) — so its output is byte-identical to
+// Run at every Shards setting (sharded Run is itself pinned byte-identical
+// to serial). Stopping early only shortens NextBatch requests; BatchStream's
+// prefix guarantee means the access sequence is unchanged.
+
+// runForever is a stopAt no clock reaches: RunUntil(runForever) drains.
+const runForever = ^uint64(0)
+
+// sched is an in-progress interruptible run.
+type sched struct {
+	live      []*liveJob
+	ex        *executor
+	jobIdx    int // round-robin position (multi-job only)
+	sliceLeft int // accesses left in the current job's quantum
+	remaining int // jobs not yet completed
+}
+
+func (s *sched) advance() {
+	s.jobIdx = (s.jobIdx + 1) % len(s.live)
+	s.sliceLeft = jobSlice
+}
+
+// StartRun begins an interruptible run over the given jobs. If the machine
+// was restored from a mid-run state, the job list must match the
+// checkpointed one (same order, streams regenerating the same accesses);
+// each stream is fast-forwarded past the accesses the checkpointed run had
+// already consumed, and execution resumes at the exact scheduler position.
+func (m *Machine) StartRun(jobs ...*Job) error {
+	if m.sched != nil {
+		return fmt.Errorf("vmm: StartRun: a run is already in progress")
+	}
+	live := make([]*liveJob, len(jobs))
+	for i, j := range jobs {
+		if len(j.Cores) == 0 {
+			j.Cores = []int{0}
+		}
+		for _, c := range j.Cores {
+			if c < 0 || c >= len(m.cores) {
+				return fmt.Errorf("vmm: StartRun: job %d core %d out of range", i, c)
+			}
+		}
+		live[i] = &liveJob{Job: j, stream: trace.Batched(j.Stream)}
+	}
+	s := &sched{
+		live:      live,
+		ex:        &executor{m: m, now: m.accessCount},
+		sliceLeft: jobSlice,
+		remaining: len(live),
+	}
+	if ps := m.pendingSched; ps != nil {
+		m.pendingSched = nil
+		if len(ps.Consumed) != len(live) {
+			return fmt.Errorf("vmm: StartRun: restored state expects %d jobs, got %d", len(ps.Consumed), len(live))
+		}
+		skipBuf := make([]trace.Access, jobSlice)
+		for i, lj := range live {
+			if err := skipStream(lj.stream, ps.Consumed[i], skipBuf); err != nil {
+				return fmt.Errorf("vmm: StartRun: job %d: %w", i, err)
+			}
+			lj.accesses = ps.Consumed[i]
+			lj.done = ps.Done[i]
+			if lj.done {
+				s.remaining--
+			}
+		}
+		s.jobIdx = ps.JobIdx
+		s.sliceLeft = ps.SliceLeft
+		s.ex.baseAllocs = ps.PendingAllocs
+	}
+	m.sched = s
+	return nil
+}
+
+// skipStream discards n accesses from the front of s (the part of the trace
+// a checkpointed run already executed).
+func skipStream(s trace.BatchStream, n uint64, buf []trace.Access) error {
+	left := n
+	for left > 0 {
+		want := uint64(len(buf))
+		if left < want {
+			want = left
+		}
+		got := s.NextBatch(buf[:want])
+		if got == 0 {
+			return fmt.Errorf("stream exhausted after skipping %d of %d checkpointed accesses", n-left, n)
+		}
+		left -= uint64(got)
+	}
+	return nil
+}
+
+// RunUntil advances the run until the global access clock reaches stopAt or
+// every job completes, and reports whether all jobs are done. The clock may
+// pass stopAt only within the batch that crosses it is never requested:
+// requests are truncated so the run stops exactly at stopAt.
+func (m *Machine) RunUntil(stopAt uint64) bool {
+	s := m.sched
+	if s == nil {
+		panic("vmm: RunUntil without StartRun")
+	}
+	if m.batchBuf == nil {
+		m.batchBuf = make([]trace.Access, jobSlice)
+	}
+	buf := m.batchBuf
+	ex := s.ex
+	if len(s.live) == 1 {
+		// Single job: no rotation; serialChunk batching exactly as runSerial.
+		j := s.live[0]
+		for !j.done && ex.now < stopAt {
+			want := uint64(serialChunk)
+			if lim := stopAt - ex.now; lim < want {
+				want = lim
+			}
+			n := j.stream.NextBatch(buf[:want])
+			if n == 0 {
+				s.finish(j)
+				break
+			}
+			j.accesses += uint64(n)
+			m.runBatch(ex, j.Job, buf[:n])
+		}
+		m.accessCount = ex.now
+		return s.remaining == 0
+	}
+	for s.remaining > 0 && ex.now < stopAt {
+		j := s.live[s.jobIdx]
+		if j.done {
+			s.advance()
+			continue
+		}
+		want := uint64(s.sliceLeft)
+		if lim := stopAt - ex.now; lim < want {
+			want = lim
+		}
+		n := j.stream.NextBatch(buf[:want])
+		if n == 0 {
+			s.finish(j)
+			s.advance()
+			continue
+		}
+		s.sliceLeft -= n
+		j.accesses += uint64(n)
+		m.runBatch(ex, j.Job, buf[:n])
+		if s.sliceLeft == 0 {
+			s.advance()
+		}
+	}
+	m.accessCount = ex.now
+	return s.remaining == 0
+}
+
+// finish records j's completion exactly as runSerial does at the moment its
+// stream returns empty.
+func (s *sched) finish(j *liveJob) {
+	j.done = true
+	s.remaining--
+	j.Proc.finished = true
+	j.Proc.RuntimeCycles = s.ex.m.maxCycles(j.Cores)
+}
+
+// FinishRun drains whatever remains of the run and returns the result —
+// byte-identical to what Run over the same jobs would have returned,
+// regardless of how many RunUntil/checkpoint/restore cycles preceded it.
+func (m *Machine) FinishRun() RunResult {
+	s := m.sched
+	if s == nil {
+		panic("vmm: FinishRun without StartRun")
+	}
+	m.RunUntil(runForever)
+	s.ex.flushAllocs()
+	if m.cfg.AuditEveryTick {
+		m.auditNow("at end of run")
+	}
+	res := m.collectResult(s.live)
+	m.sched = nil
+	return res
+}
