@@ -3,6 +3,7 @@
 //
 //	pcctrace -mode record -app BFS -out bfs_cands.jsonl
 //	pcctrace -mode replay -app BFS -in bfs_cands.jsonl
+//	pcctrace -mode blockstats -app mcf -accesses 200000
 //
 // Record runs the live TLB+PCC simulation with the OS promotion engine and
 // writes every promotion (region + simulated timestamp) to a JSON-lines
@@ -10,6 +11,10 @@
 // hardware, performing the recorded promotions at the recorded execution
 // points — the analogue of the paper's real-system step consuming the
 // offline Pin-simulation trace.
+//
+// Blockstats records the workload's access stream into the columnar block
+// format the trace cache uses and dumps its encoded shape: block count,
+// bytes per access, and the delta width histogram.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"pccsim/internal/ctrace"
 	"pccsim/internal/ospolicy"
+	"pccsim/internal/trace"
 	"pccsim/internal/vmm"
 	"pccsim/internal/workloads"
 )
@@ -34,11 +40,14 @@ func main() {
 		in       = flag.String("in", "candidates.jsonl", "trace input path (replay)")
 		interval = flag.Uint64("interval", 2_000_000, "promotion interval (accesses)")
 		budget   = flag.Float64("budget", 0, "huge budget %% of footprint (record)")
+		accCap   = flag.Uint64("accesses", 0, "cap the stream length (blockstats; 0 = full stream)")
+		size     = flag.Float64("sizescale", 0, "synthetic footprint scale (blockstats; 0 = app default)")
 	)
 	flag.Parse()
 
 	wl, err := workloads.Build(workloads.Spec{
 		Name: *app, Dataset: workloads.GraphDataset(*dataset), Scale: *scale, Sorted: *sorted,
+		SizeScale: *size, Accesses: *accCap,
 	})
 	if err != nil {
 		fatal(err)
@@ -84,6 +93,15 @@ func main() {
 			len(tr.Events)-replay.Remaining(), len(tr.Events), *in)
 		fmt.Printf("replay run: cycles=%.4g PTW=%.3f%% huge=%d\n",
 			res.Cycles, 100*res.PTWRate, res.HugePages2M)
+
+	case "blockstats":
+		st := wl.Stream()
+		if *accCap > 0 {
+			st = trace.Limit(st, *accCap)
+		}
+		rec := trace.RecordBlocks(st, 0)
+		workloads.CloseStream(st)
+		fmt.Printf("%s: %s\n", wl.Name(), rec.Stats())
 
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))

@@ -422,6 +422,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"status":             "ok",
 		"jobs":               n,
 		"tracecache_streams": recs,
+		"tracecache_blocks":  experiments.TraceCacheBlocks(),
 		"tracecache_bytes":   cacheBytes,
 	})
 }

@@ -34,7 +34,7 @@ const DefaultTraceCacheBytes int64 = 512 << 20
 // rest wait, so a parallel grid generates each stream exactly once.
 type traceCache struct {
 	mu       sync.Mutex
-	recs     map[string]*trace.Recording
+	recs     map[string]*trace.BlockRecording
 	tooBig   map[string]bool
 	inflight map[string]chan struct{}
 	bytes    int64
@@ -45,17 +45,20 @@ var sharedTraceCache = newTraceCache()
 
 func newTraceCache() *traceCache {
 	return &traceCache{
-		recs:     map[string]*trace.Recording{},
+		recs:     map[string]*trace.BlockRecording{},
 		tooBig:   map[string]bool{},
 		inflight: map[string]chan struct{}{},
 	}
 }
 
 // stats reports the cache's current contents (tests and diagnostics).
-func (c *traceCache) stats() (recordings int, bytes int64) {
+func (c *traceCache) stats() (recordings, blocks int, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.recs), c.bytes
+	for _, r := range c.recs {
+		blocks += r.Blocks()
+	}
+	return len(c.recs), blocks, c.bytes
 }
 
 // stream returns a replay of the stream identified by key, recording it via
@@ -84,10 +87,10 @@ func (c *traceCache) stream(key string, budget int64, live func() trace.Stream) 
 		remaining := budget - c.bytes
 		c.mu.Unlock()
 
-		var rec *trace.Recording
+		var rec *trace.BlockRecording
 		if remaining > 0 {
 			st := live()
-			rec = trace.Record(st, remaining)
+			rec = trace.RecordBlocks(st, remaining)
 			// A capped recording leaves the stream partially drained;
 			// either way the producer goroutine must be released.
 			workloads.CloseStream(st)
@@ -144,5 +147,14 @@ func (o Options) streamFor(s workloads.Spec, wl workloads.Workload) trace.Stream
 // health endpoint surfaces it, and tests use it to assert that concurrent
 // jobs share recordings instead of regenerating streams.
 func TraceCacheStats() (recordings int, bytes int64) {
-	return sharedTraceCache.stats()
+	recordings, _, bytes = sharedTraceCache.stats()
+	return recordings, bytes
+}
+
+// TraceCacheBlocks reports how many columnar blocks the cached recordings
+// hold in total (the daemon's health endpoint surfaces it alongside the
+// stream count and byte size).
+func TraceCacheBlocks() int {
+	_, blocks, _ := sharedTraceCache.stats()
+	return blocks
 }

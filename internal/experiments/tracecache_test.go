@@ -86,8 +86,8 @@ func TestTraceCacheRecordsOnceAndFallsBack(t *testing.T) {
 	if n1 == 0 || n1 != n2 {
 		t.Errorf("replay length %d differs from recorded %d", n2, n1)
 	}
-	if recs, bytes := c.stats(); recs != 1 || bytes <= 0 {
-		t.Errorf("stats = (%d, %d), want one bounded recording", recs, bytes)
+	if recs, blocks, bytes := c.stats(); recs != 1 || blocks == 0 || bytes <= 0 {
+		t.Errorf("stats = (%d, %d, %d), want one bounded recording with blocks", recs, blocks, bytes)
 	}
 
 	// A 1-byte budget cannot hold any recording: both requests serve live.

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"pccsim/internal/mem"
+)
+
+// The columnar decoder consumes bytes that normally come from our own
+// encoder, but ParseBlockRecording is the boundary where arbitrary input
+// (trace dumps, future on-disk caches) enters — so decode must be total:
+// typed errors, never panics, matching the internal/snapshot convention.
+// The seed corpus under testdata/fuzz/ is checked in and regenerated with
+// -gencorpus; plain `go test` replays it as unit tests, so a format change
+// that breaks decoding — or lets malformed bytes panic — fails CI without
+// anyone running the fuzzer.
+
+var genColumnarCorpus = flag.Bool("gencorpus", false, "regenerate the checked-in columnar fuzz seed corpus")
+
+// columnarDecodeIsTotal feeds data to the parser and pins the totality
+// property: no panic (implicit), typed error or success, and on success the
+// parsed recording replays cleanly and re-serializes to the same bytes.
+func columnarDecodeIsTotal(t *testing.T, data []byte) {
+	t.Helper()
+	rec, err := ParseBlockRecording(data)
+	if err != nil {
+		if !errors.Is(err, ErrColumnarMagic) && !errors.Is(err, ErrColumnarTruncated) &&
+			!errors.Is(err, ErrColumnarCorrupt) {
+			t.Fatalf("ParseBlockRecording returned an untyped error: %v", err)
+		}
+		return
+	}
+	// Accepted input must replay without error and round-trip bytes.
+	rs := rec.Replay()
+	var n uint64
+	buf := make([]Access, 1024)
+	for {
+		k := rs.NextBatch(buf)
+		if k == 0 {
+			break
+		}
+		n += uint64(k)
+	}
+	if rs.Err() != nil {
+		t.Fatalf("validated recording failed to replay: %v", rs.Err())
+	}
+	if n != rec.Accesses() {
+		t.Fatalf("replay produced %d accesses, recording claims %d", n, rec.Accesses())
+	}
+	if !bytes.Equal(rec.Bytes(), data) {
+		t.Fatal("parse → serialize is not byte-identical on accepted input")
+	}
+	rec.Stats() // must not panic either
+}
+
+// FuzzColumnarRoundTrip fuzzes the container parser with arbitrary bytes.
+func FuzzColumnarRoundTrip(f *testing.F) {
+	for _, data := range columnarCorpusSeeds() {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		columnarDecodeIsTotal(t, data)
+	})
+}
+
+// FuzzColumnarEncode fuzzes the encode side: any access tuple sequence must
+// survive RecordBlocks → Replay exactly, and its container must re-parse.
+func FuzzColumnarEncode(f *testing.F) {
+	f.Add(uint64(0x1000), uint64(0x2000), 3, true)
+	f.Add(uint64(1)<<63, uint64(0), 127, false)
+	f.Add(^uint64(0), uint64(1), 0, true)
+	f.Fuzz(func(t *testing.T, addr1, addr2 uint64, thread int, write bool) {
+		if thread < 0 {
+			thread = -thread
+		}
+		accs := []Access{
+			{Addr: mem.VirtAddr(addr1)},
+			{Addr: mem.VirtAddr(addr2), Thread: thread, Write: write},
+			{Addr: mem.VirtAddr(addr1 ^ addr2), Thread: thread / 2},
+			{Addr: mem.VirtAddr(addr2), Write: !write},
+		}
+		rec := RecordBlocks(Slice(accs), 0)
+		if rec == nil {
+			t.Fatal("unlimited RecordBlocks returned nil")
+		}
+		got := collectStream(rec.Replay())
+		if len(got) != len(accs) {
+			t.Fatalf("replay count %d, want %d", len(got), len(accs))
+		}
+		for i := range accs {
+			if got[i] != accs[i] {
+				t.Fatalf("replay[%d] = %+v, want %+v", i, got[i], accs[i])
+			}
+		}
+		columnarDecodeIsTotal(t, rec.Bytes())
+	})
+}
+
+// columnarCorpusSeeds builds the seed inputs: valid containers of varied
+// shape plus systematically damaged ones.
+func columnarCorpusSeeds() map[string][]byte {
+	seeds := map[string][]byte{}
+	add := func(name string, accs []Access) {
+		seeds["valid-"+name] = RecordBlocks(Slice(accs), 0).Bytes()
+	}
+	add("empty", nil)
+	add("one", []Access{{Addr: 0x1000, Thread: 2, Write: true}})
+	add("seq", Collect(Sequential(1<<30, 1<<20, 64, 5000), 5000))
+	add("mixed", columnarMix(BlockAccesses+300))
+	add("threads", Collect(Interleave(64,
+		Sequential(0, 1<<20, 64, 2000),
+		Sequential(1<<21, 1<<20, 64, 2000)), 4000))
+
+	full := seeds["valid-mixed"]
+	seeds["bad-magic"] = append([]byte("XXXXXXXX"), full[8:]...)
+	seeds["truncated-header"] = full[:9]
+	seeds["truncated-block"] = full[:len(full)-len(full)/3]
+	corrupt := append([]byte{}, full...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	seeds["bitflip"] = corrupt
+	seeds["trailing"] = append(append([]byte{}, full...), 0xde, 0xad)
+	seeds["random"] = func() []byte {
+		rng := rand.New(rand.NewSource(7))
+		b := make([]byte, 512)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		return append([]byte(columnarMagic), b...)
+	}()
+	return seeds
+}
+
+// TestColumnarSeedCorpusCheckedIn regenerates (with -gencorpus) or verifies
+// the committed corpus under testdata/fuzz/FuzzColumnarRoundTrip: every
+// entry must satisfy the decoder's totality property under plain `go test`.
+func TestColumnarSeedCorpusCheckedIn(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzColumnarRoundTrip")
+	if *genColumnarCorpus {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range columnarCorpusSeeds() {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+			if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing (regenerate with -gencorpus): %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("seed corpus directory is empty")
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corpus file format: "go test fuzz v1\n[]byte(<quoted>)\n".
+		const prefix = "go test fuzz v1\n[]byte("
+		s := string(raw)
+		if len(s) < len(prefix) || s[:len(prefix)] != prefix {
+			t.Fatalf("%s: unexpected corpus file format", e.Name())
+		}
+		quoted := s[len(prefix) : len(s)-2] // strip ")\n"
+		data, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		columnarDecodeIsTotal(t, []byte(data))
+	}
+}

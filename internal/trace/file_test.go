@@ -180,3 +180,92 @@ func TestExportedStreamReplaysThroughSimPath(t *testing.T) {
 		}
 	}
 }
+
+// TestBinaryBatchMatchesNext pins NextBatch's bulk-read path against the
+// per-record Next path: same records, same clean-EOF and mid-record-cut
+// semantics, at batch sizes that land on and off chunk boundaries.
+func TestBinaryBatchMatchesNext(t *testing.T) {
+	accs := columnarMix(3*binaryBatchRecords + 41)
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, Slice(accs)); err != nil {
+		t.Fatal(err)
+	}
+	// The binary format narrows threads to 7 bits; mask the expectation.
+	for i := range accs {
+		accs[i].Thread &= 0x7f
+	}
+	raw := buf.Bytes()
+
+	for _, size := range []int{1, 7, binaryBatchRecords, binaryBatchRecords + 1, 4 * binaryBatchRecords} {
+		fs := ReadBinary(bytes.NewReader(raw))
+		var got []Access
+		b := make([]Access, size)
+		for {
+			k := fs.NextBatch(b)
+			if k == 0 {
+				break
+			}
+			got = append(got, b[:k]...)
+		}
+		if fs.Err() != nil {
+			t.Fatalf("size=%d: clean stream errored: %v", size, fs.Err())
+		}
+		if len(got) != len(accs) {
+			t.Fatalf("size=%d: got %d records, want %d", size, len(got), len(accs))
+		}
+		for i := range got {
+			if got[i] != accs[i] {
+				t.Fatalf("size=%d: record %d = %+v, want %+v", size, i, got[i], accs[i])
+			}
+		}
+	}
+
+	// Truncation mid-record must surface an error from the batch path, just
+	// as Next reports it.
+	fs := ReadBinary(bytes.NewReader(raw[:len(raw)-4]))
+	b := make([]Access, 64)
+	n := 0
+	for {
+		k := fs.NextBatch(b)
+		if k == 0 {
+			break
+		}
+		n += k
+	}
+	if fs.Err() == nil {
+		t.Fatal("mid-record truncation must surface an error")
+	}
+	if want := (len(raw) - len(binaryMagic) - 4) / 9; n != want {
+		t.Fatalf("truncated stream yielded %d whole records, want %d", n, want)
+	}
+
+	// Truncation on a record boundary is a clean (silent) EOF.
+	fs = ReadBinary(bytes.NewReader(raw[:len(raw)-18]))
+	for fs.NextBatch(b) != 0 {
+	}
+	if fs.Err() != nil {
+		t.Fatalf("record-boundary truncation must be a clean EOF, got %v", fs.Err())
+	}
+}
+
+// TestBinaryBatchSteadyStateAllocs: after the first call warms the staging
+// buffer, batching allocates nothing per call.
+func TestBinaryBatchSteadyStateAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, Sequential(0, 1<<24, 64, 200_000)); err != nil {
+		t.Fatal(err)
+	}
+	fs := ReadBinary(bytes.NewReader(buf.Bytes()))
+	b := make([]Access, 1024)
+	if fs.NextBatch(b) == 0 { // warm-up: magic + staging buffer
+		t.Fatal("empty first batch")
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if fs.NextBatch(b) == 0 {
+			t.Fatal("stream exhausted mid-measurement")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("NextBatch allocates %.1f/op in steady state, want 0", avg)
+	}
+}

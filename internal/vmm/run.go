@@ -77,7 +77,11 @@ type ProcResult struct {
 // liveJob is a Job being drained by Run.
 type liveJob struct {
 	*Job
-	stream   trace.BatchStream
+	stream trace.BatchStream
+	// block is non-nil when the job's stream hands out decoded columnar
+	// blocks in place (trace.BlockSource): Run then consumes those slices
+	// directly instead of copying through the machine's batch buffer.
+	block    trace.BlockSource
 	accesses uint64
 	done     bool
 }
@@ -130,6 +134,9 @@ func (m *Machine) Run(jobs ...*Job) RunResult {
 			}
 		}
 		live[i] = &liveJob{Job: j, stream: trace.Batched(j.Stream)}
+		if bs, ok := j.Stream.(trace.BlockSource); ok {
+			live[i].block = bs
+		}
 	}
 
 	if groupOf, groups := m.shardGroups(live); groups > 1 {
@@ -187,23 +194,35 @@ func (m *Machine) collectResult(live []*liveJob) RunResult {
 // trip resident in L1 instead of streaming 64KB batches through L2.
 const serialChunk = 512
 
-// runSerial is the historical single-threaded drain loop.
+// runSerial is the historical single-threaded drain loop. Jobs whose stream
+// is a trace.BlockSource take the zero-copy path: the simulation loop runs
+// directly over the stream's decoded block, skipping the copy through the
+// machine's batch buffer. Batch boundaries carry no semantics — runBatch
+// re-segments at tick boundaries and access order is unchanged — so the two
+// paths are bit-identical.
 func (m *Machine) runSerial(live []*liveJob) {
-	if m.batchBuf == nil {
-		m.batchBuf = make([]trace.Access, jobSlice)
-	}
-	buf := m.batchBuf
 	ex := &executor{m: m, now: m.accessCount}
 	if len(live) == 1 {
 		j := live[0]
-		small := buf[:serialChunk]
-		for {
-			n := j.stream.NextBatch(small)
-			if n == 0 {
-				break
+		if j.block != nil {
+			for {
+				seg := j.block.NextBlock(jobSlice)
+				if len(seg) == 0 {
+					break
+				}
+				j.accesses += uint64(len(seg))
+				m.runBatch(ex, j.Job, seg)
 			}
-			j.accesses += uint64(n)
-			m.runBatch(ex, j.Job, small[:n])
+		} else {
+			small := m.batch()[:serialChunk]
+			for {
+				n := j.stream.NextBatch(small)
+				if n == 0 {
+					break
+				}
+				j.accesses += uint64(n)
+				m.runBatch(ex, j.Job, small[:n])
+			}
 		}
 		j.done = true
 		j.Proc.finished = true
@@ -224,7 +243,14 @@ func (m *Machine) runSerial(live []*liveJob) {
 			// produced.
 			slice := jobSlice
 			for slice > 0 {
-				n := j.stream.NextBatch(buf[:slice])
+				var seg []trace.Access
+				if j.block != nil {
+					seg = j.block.NextBlock(slice)
+				} else {
+					buf := m.batch()
+					seg = buf[:j.stream.NextBatch(buf[:slice])]
+				}
+				n := len(seg)
 				if n == 0 {
 					j.done = true
 					remaining--
@@ -234,12 +260,21 @@ func (m *Machine) runSerial(live []*liveJob) {
 				}
 				slice -= n
 				j.accesses += uint64(n)
-				m.runBatch(ex, j.Job, buf[:n])
+				m.runBatch(ex, j.Job, seg)
 			}
 		}
 	}
 	m.accessCount = ex.now
 	ex.flushAllocs()
+}
+
+// batch returns the machine's reusable batch-drain buffer, allocating it on
+// first use (block-source jobs never need it).
+func (m *Machine) batch() []trace.Access {
+	if m.batchBuf == nil {
+		m.batchBuf = make([]trace.Access, jobSlice)
+	}
+	return m.batchBuf
 }
 
 // shardGroups partitions the jobs into independent groups (union-find over
@@ -299,14 +334,87 @@ func (m *Machine) shardGroups(live []*liveJob) ([]int, int) {
 
 // shardTask is one unit of work dispatched to a shard worker: a tick-free
 // segment of one job's stream starting at global clock start, or (fin) the
-// job's completion record. buf, when non-nil, is returned to the buffer pool
-// after the task is processed (the segment was the last one sliced from it).
+// job's completion record. buf, when non-nil, is sent to freeTo after the
+// task is processed (the segment was the last one sliced from it) — the
+// shared pool for coordinator-filled buffers, or the owning job's prefetcher
+// for decoded columnar blocks.
 type shardTask struct {
-	j     *liveJob
-	seg   []trace.Access
-	start uint64
-	buf   []trace.Access
-	fin   bool
+	j      *liveJob
+	seg    []trace.Access
+	start  uint64
+	buf    []trace.Access
+	freeTo chan []trace.Access
+	fin    bool
+}
+
+// blockPrefetcher decodes a job's columnar block stream ahead of the
+// simulation on its own goroutine: DecodeBlock fills prefetcher-owned
+// buffers that travel coordinator → worker → back here, so block N+1 is
+// decoding while the shard worker simulates block N — and the decoded
+// accesses are consumed in place, never copied through a pool buffer.
+// Determinism is untouched: the decoded contents and their dispatch order
+// are exactly what a synchronous NextBatch drain would have produced; only
+// the wall-clock overlap differs.
+type blockPrefetcher struct {
+	out  chan []trace.Access // decoded blocks, in stream order
+	free chan []trace.Access // consumed buffers returning for reuse
+	cur  []trace.Access      // block the coordinator is currently slicing
+	pos  int
+	wg   sync.WaitGroup
+}
+
+// prefetchDepth is how many decoded blocks a prefetcher owns: one being
+// consumed, one queued, one being decoded (double-buffered from the
+// consumer's point of view).
+const prefetchDepth = 3
+
+// newBlockPrefetcher starts the decode goroutine for src. It exits when the
+// stream is exhausted (Run always drains every job) after closing out.
+func newBlockPrefetcher(src trace.BlockSource) *blockPrefetcher {
+	p := &blockPrefetcher{
+		out:  make(chan []trace.Access, prefetchDepth),
+		free: make(chan []trace.Access, prefetchDepth),
+	}
+	for i := 0; i < prefetchDepth; i++ {
+		p.free <- make([]trace.Access, trace.BlockAccesses)
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for buf := range p.free {
+			n := src.DecodeBlock(buf[:cap(buf)])
+			if n == 0 {
+				close(p.out)
+				return
+			}
+			p.out <- buf[:n]
+		}
+	}()
+	return p
+}
+
+// take returns up to max accesses of the prefetched stream in place. done
+// reports a released buffer: when take consumed the last access of the
+// current block, it returns the block's buffer, which the caller must send
+// to p.free after the returned segment has been fully processed.
+func (p *blockPrefetcher) take(max int) (seg, done []trace.Access) {
+	if p.pos >= len(p.cur) {
+		blk, ok := <-p.out
+		if !ok {
+			return nil, nil
+		}
+		p.cur, p.pos = blk, 0
+	}
+	seg = p.cur[p.pos:]
+	if len(seg) > max {
+		seg = seg[:max]
+	}
+	p.pos += len(seg)
+	if p.pos >= len(p.cur) {
+		done = p.cur[:cap(p.cur)]
+		p.cur, p.pos = nil, 0
+	}
+	return seg, done
 }
 
 // runSharded executes independent job groups on up to Config.Shards worker
@@ -352,7 +460,7 @@ func (m *Machine) runSharded(live []*liveJob, groupOf []int, groups int) {
 					ex.runSeg(t.j.Job, t.seg)
 				}
 				if t.buf != nil {
-					pool <- t.buf
+					t.freeTo <- t.buf
 				}
 				inflight.Done()
 			}
@@ -369,7 +477,51 @@ func (m *Machine) runSharded(live []*liveJob, groupOf []int, groups int) {
 		}
 	}
 
+	// Jobs over columnar block streams decode on their own prefetch
+	// goroutine, overlapping decode with simulation; the rest are decoded
+	// synchronously here into pool buffers.
+	prefetch := make([]*blockPrefetcher, len(live))
+	for ji, j := range live {
+		if j.block != nil {
+			prefetch[ji] = newBlockPrefetcher(j.block)
+		}
+	}
+
 	globalNow := m.accessCount
+	tickIfDue := func() {
+		if globalNow >= m.nextTick {
+			m.nextTick += m.cfg.PromotionInterval
+			barrier()
+			m.accessCount = globalNow
+			m.pressureTick()
+			if m.policy != nil {
+				m.policy.Tick(m)
+			}
+			if m.cfg.AuditEveryTick {
+				m.auditNow("after policy tick")
+			}
+		}
+	}
+	// dispatchSegs slices one decoded batch at tick boundaries and dispatches
+	// the segments to worker w, exactly as the serial scheduler would have
+	// executed them; buf/freeTo ride on the final segment.
+	dispatchSegs := func(w int, j *liveJob, batch, buf []trace.Access, freeTo chan []trace.Access) {
+		for len(batch) > 0 {
+			seg := batch
+			if until := m.nextTick - globalNow; uint64(len(seg)) > until {
+				seg = seg[:until]
+			}
+			batch = batch[len(seg):]
+			t := shardTask{j: j, seg: seg, start: globalNow}
+			if len(batch) == 0 && buf != nil {
+				t.buf, t.freeTo = buf, freeTo
+			}
+			dispatch(w, t)
+			globalNow += uint64(len(seg))
+			tickIfDue()
+		}
+	}
+
 	remaining := len(live)
 	for remaining > 0 {
 		for ji, j := range live {
@@ -379,10 +531,25 @@ func (m *Machine) runSharded(live []*liveJob, groupOf []int, groups int) {
 			w := groupOf[ji] % nw
 			slice := jobSlice
 			for slice > 0 {
-				buf := <-pool
-				n := j.stream.NextBatch(buf[:slice])
+				var n int
+				if pf := prefetch[ji]; pf != nil {
+					seg, done := pf.take(slice)
+					if n = len(seg); n > 0 {
+						slice -= n
+						j.accesses += uint64(n)
+						dispatchSegs(w, j, seg, done, pf.free)
+					}
+				} else {
+					buf := <-pool
+					if n = j.stream.NextBatch(buf[:slice]); n == 0 {
+						pool <- buf
+					} else {
+						slice -= n
+						j.accesses += uint64(n)
+						dispatchSegs(w, j, buf[:n], buf, pool)
+					}
+				}
 				if n == 0 {
-					pool <- buf
 					j.done = true
 					remaining--
 					// The completion record (finished flag, runtime = max
@@ -392,34 +559,6 @@ func (m *Machine) runSharded(live []*liveJob, groupOf []int, groups int) {
 					dispatch(w, shardTask{j: j, fin: true})
 					break
 				}
-				slice -= n
-				j.accesses += uint64(n)
-				batch := buf[:n]
-				for len(batch) > 0 {
-					seg := batch
-					if until := m.nextTick - globalNow; uint64(len(seg)) > until {
-						seg = seg[:until]
-					}
-					batch = batch[len(seg):]
-					t := shardTask{j: j, seg: seg, start: globalNow}
-					if len(batch) == 0 {
-						t.buf = buf
-					}
-					dispatch(w, t)
-					globalNow += uint64(len(seg))
-					if globalNow >= m.nextTick {
-						m.nextTick += m.cfg.PromotionInterval
-						barrier()
-						m.accessCount = globalNow
-						m.pressureTick()
-						if m.policy != nil {
-							m.policy.Tick(m)
-						}
-						if m.cfg.AuditEveryTick {
-							m.auditNow("after policy tick")
-						}
-					}
-				}
 			}
 		}
 	}
@@ -427,6 +566,14 @@ func (m *Machine) runSharded(live []*liveJob, groupOf []int, groups int) {
 		close(q)
 	}
 	workers.Wait()
+	for _, pf := range prefetch {
+		if pf != nil {
+			// The decode goroutine has already closed out (its stream is
+			// exhausted — that is what completed the job); Wait just pins
+			// the lifecycle for the race detector and leak tests.
+			pf.wg.Wait()
+		}
+	}
 	for _, ex := range execs {
 		ex.flushAllocs()
 	}

@@ -114,10 +114,7 @@ func (m *Machine) RunUntil(stopAt uint64) bool {
 	if s == nil {
 		panic("vmm: RunUntil without StartRun")
 	}
-	if m.batchBuf == nil {
-		m.batchBuf = make([]trace.Access, jobSlice)
-	}
-	buf := m.batchBuf
+	buf := m.batch()
 	ex := s.ex
 	if len(s.live) == 1 {
 		// Single job: no rotation; serialChunk batching exactly as runSerial.

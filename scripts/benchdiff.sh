@@ -6,9 +6,9 @@
 # Usage:
 #   scripts/benchdiff.sh <ref> [bench-regex] [packages...]
 #
-# Defaults: bench-regex 'Step|RunStream|EmitChunk|Walk|TLBAccess|PCCRecord',
+# Defaults: bench-regex 'Step|RunStream|EmitChunk|Walk|TLBAccess|PCCRecord|ReplayDecode',
 # packages ./internal/vmm ./internal/workloads ./internal/tlb ./internal/ptw
-# ./internal/pcc. Examples:
+# ./internal/pcc ./internal/trace. Examples:
 #
 #   scripts/benchdiff.sh HEAD~1
 #   scripts/benchdiff.sh 3efe74e 'RunStream' ./internal/vmm
@@ -26,9 +26,9 @@
 set -eu
 
 ref=${1:?usage: scripts/benchdiff.sh <ref> [bench-regex] [packages...]}
-regex=${2:-'Step|RunStream|EmitChunk|Walk|TLBAccess|PCCRecord'}
+regex=${2:-'Step|RunStream|EmitChunk|Walk|TLBAccess|PCCRecord|ReplayDecode'}
 if [ $# -ge 2 ]; then shift 2; else shift $#; fi
-pkgs=${*:-"./internal/vmm ./internal/workloads ./internal/tlb ./internal/ptw ./internal/pcc"}
+pkgs=${*:-"./internal/vmm ./internal/workloads ./internal/tlb ./internal/ptw ./internal/pcc ./internal/trace"}
 benchtime=${BENCHTIME:-2s}
 count=${COUNT:-5}
 [ "$count" -ge 5 ] 2>/dev/null || count=5
