@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pccsim/internal/ctrace"
@@ -30,27 +31,43 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: it parses args, executes the
+// selected mode, writes human output to stdout and errors to stderr, and
+// returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pcctrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		mode     = flag.String("mode", "record", "record | replay")
-		app      = flag.String("app", "BFS", "workload name")
-		dataset  = flag.String("dataset", "kron", "graph dataset")
-		scale    = flag.Int("scale", 0, "graph scale")
-		sorted   = flag.Bool("sorted", false, "degree-based grouping")
-		out      = flag.String("out", "candidates.jsonl", "trace output path (record)")
-		in       = flag.String("in", "candidates.jsonl", "trace input path (replay)")
-		interval = flag.Uint64("interval", 2_000_000, "promotion interval (accesses)")
-		budget   = flag.Float64("budget", 0, "huge budget %% of footprint (record)")
-		accCap   = flag.Uint64("accesses", 0, "cap the stream length (blockstats; 0 = full stream)")
-		size     = flag.Float64("sizescale", 0, "synthetic footprint scale (blockstats; 0 = app default)")
+		mode     = fs.String("mode", "record", "record | replay | blockstats")
+		app      = fs.String("app", "BFS", "workload name")
+		dataset  = fs.String("dataset", "kron", "graph dataset")
+		scale    = fs.Int("scale", 0, "graph scale")
+		sorted   = fs.Bool("sorted", false, "degree-based grouping")
+		out      = fs.String("out", "candidates.jsonl", "trace output path (record)")
+		in       = fs.String("in", "candidates.jsonl", "trace input path (replay)")
+		interval = fs.Uint64("interval", 2_000_000, "promotion interval (accesses)")
+		budget   = fs.Float64("budget", 0, "huge budget %% of footprint (record)")
+		accCap   = fs.Uint64("accesses", 0, "cap the stream length (blockstats; 0 = full stream)")
+		size     = fs.Float64("sizescale", 0, "synthetic footprint scale (blockstats; 0 = app default)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "pcctrace:", err)
+		return 1
+	}
 
 	wl, err := workloads.Build(workloads.Spec{
 		Name: *app, Dataset: workloads.GraphDataset(*dataset), Scale: *scale, Sorted: *sorted,
 		SizeScale: *size, Accesses: *accCap,
 	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	switch *mode {
@@ -68,16 +85,16 @@ func main() {
 		res := m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}})
 		tr := ctrace.FromMachine(m)
 		if err := tr.Save(*out); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("recorded %d candidate promotions to %s\n", len(tr.Events), *out)
-		fmt.Printf("live run: cycles=%.4g PTW=%.3f%% huge=%d\n",
+		fmt.Fprintf(stdout, "recorded %d candidate promotions to %s\n", len(tr.Events), *out)
+		fmt.Fprintf(stdout, "live run: cycles=%.4g PTW=%.3f%% huge=%d\n",
 			res.Cycles, 100*res.PTWRate, res.HugePages2M)
 
 	case "replay":
 		tr, err := ctrace.Load(*in)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		cfg := vmm.DefaultConfig()
 		cfg.EnablePCC = false // the replayed system has no PCC hardware
@@ -89,9 +106,9 @@ func main() {
 		m := vmm.NewMachine(cfg, replay)
 		p := m.AddProcess(wl.Name(), wl.Ranges(), wl.BaseCPA())
 		res := m.Run(&vmm.Job{Proc: p, Stream: wl.Stream(), Cores: []int{0}})
-		fmt.Printf("replayed %d of %d events from %s\n",
+		fmt.Fprintf(stdout, "replayed %d of %d events from %s\n",
 			len(tr.Events)-replay.Remaining(), len(tr.Events), *in)
-		fmt.Printf("replay run: cycles=%.4g PTW=%.3f%% huge=%d\n",
+		fmt.Fprintf(stdout, "replay run: cycles=%.4g PTW=%.3f%% huge=%d\n",
 			res.Cycles, 100*res.PTWRate, res.HugePages2M)
 
 	case "blockstats":
@@ -101,14 +118,10 @@ func main() {
 		}
 		rec := trace.RecordBlocks(st, 0)
 		workloads.CloseStream(st)
-		fmt.Printf("%s: %s\n", wl.Name(), rec.Stats())
+		fmt.Fprintf(stdout, "%s: %s\n", wl.Name(), rec.Stats())
 
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		return fail(fmt.Errorf("unknown mode %q", *mode))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pcctrace:", err)
-	os.Exit(1)
+	return 0
 }

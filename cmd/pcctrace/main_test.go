@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestBlockstatsMode: -mode blockstats must record the capped stream into
+// columnar blocks and report the encoded shape on one line.
+func TestBlockstatsMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-mode", "blockstats", "-app", "mcf", "-accesses", "50000", "-sizescale", "0.05",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := strings.TrimSpace(out.String())
+	re := regexp.MustCompile(`^mcf: blocks=\d+ accesses=50000 bytes=\d+ bytes/access=\d+\.\d+ single-thread-blocks=\d+ write-blocks=\d+( delta\dB=\d+)*$`)
+	if !re.MatchString(got) {
+		t.Errorf("blockstats output shape mismatch:\n%s", got)
+	}
+}
+
+// TestRecordReplayRoundTrip: record writes a candidate trace and prints the
+// live summary; replay consumes it and prints the replay summary.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cands.jsonl")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-mode", "record", "-app", "mcf", "-sizescale", "0.05",
+		"-interval", "100000", "-out", path,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("record: exit %d, stderr: %s", code, errb.String())
+	}
+	if !regexp.MustCompile(`recorded \d+ candidate promotions to `).MatchString(out.String()) ||
+		!strings.Contains(out.String(), "live run: cycles=") {
+		t.Errorf("record output shape mismatch:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{
+		"-mode", "replay", "-app", "mcf", "-sizescale", "0.05",
+		"-interval", "100000", "-in", path,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("replay: exit %d, stderr: %s", code, errb.String())
+	}
+	if !regexp.MustCompile(`replayed \d+ of \d+ events from `).MatchString(out.String()) ||
+		!strings.Contains(out.String(), "replay run: cycles=") {
+		t.Errorf("replay output shape mismatch:\n%s", out.String())
+	}
+}
+
+// TestUnknownModeFails: a bad -mode must report the error and exit nonzero.
+func TestUnknownModeFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "bogus", "-app", "mcf", "-sizescale", "0.05"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), `unknown mode "bogus"`) {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}
+
+// TestBadFlagFails: flag parse errors exit 2 without running anything.
+func TestBadFlagFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pccsim/internal/trace"
@@ -23,16 +24,26 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: it parses args, writes the TSV
+// to stdout and errors to stderr, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracechar", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		app     = flag.String("app", "BFS", "workload name")
-		dataset = flag.String("dataset", "kron", "graph dataset (kron|social|web)")
-		scale   = flag.Int("scale", 0, "graph scale (2^scale vertices)")
-		sorted  = flag.Bool("sorted", false, "apply degree-based grouping")
-		maxPts  = flag.Int("max", 0, "max scatter points (0 = all pages)")
-		summary = flag.Bool("summary", false, "print class summary only")
-		blockst = flag.Bool("blockstats", false, "record to columnar blocks, report shape, analyze the replay")
+		app     = fs.String("app", "BFS", "workload name")
+		dataset = fs.String("dataset", "kron", "graph dataset (kron|social|web)")
+		scale   = fs.Int("scale", 0, "graph scale (2^scale vertices)")
+		sorted  = fs.Bool("sorted", false, "apply degree-based grouping")
+		maxPts  = fs.Int("max", 0, "max scatter points (0 = all pages)")
+		summary = fs.Bool("summary", false, "print class summary only")
+		blockst = fs.Bool("blockstats", false, "record to columnar blocks, report shape, analyze the replay")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	wl, err := workloads.Build(workloads.Spec{
 		Name:     *app,
@@ -42,8 +53,8 @@ func main() {
 		SkipInit: true, // characterize the steady-state kernel only
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracechar:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracechar:", err)
+		return 1
 	}
 
 	st := wl.Stream()
@@ -59,7 +70,7 @@ func main() {
 	results := an.Results()
 	sum := trace.Summarize(results)
 
-	w := bufio.NewWriter(os.Stdout)
+	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 
 	fmt.Fprintf(w, "# app=%s accesses=%d pages=%d threshold=%d\n",
@@ -71,7 +82,7 @@ func main() {
 		fmt.Fprintf(w, "# class %-14s pages=%-10d accesses=%d\n", c, sum.Pages[c], sum.Accesses[c])
 	}
 	if *summary {
-		return
+		return 0
 	}
 	stride := 1
 	if *maxPts > 0 && len(results) > *maxPts {
@@ -82,4 +93,5 @@ func main() {
 		r := results[i]
 		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%d\t%s\n", r.Page, r.Dist4K, r.Dist2M, r.Accesses, r.Class)
 	}
+	return 0
 }

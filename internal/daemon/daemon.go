@@ -424,6 +424,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"tracecache_streams": recs,
 		"tracecache_blocks":  experiments.TraceCacheBlocks(),
 		"tracecache_bytes":   cacheBytes,
+		// Process-global health gauges (e.g. the sharded runner's block
+		// prefetch ring occupancy).
+		"metrics": obs.Default().Snapshot(),
 	})
 }
 

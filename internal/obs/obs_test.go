@@ -208,3 +208,48 @@ func TestStartPprof(t *testing.T) {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 }
+
+// TestPprofHealthz: the debug server's /healthz reports liveness and the
+// Default registry's gauges, so long runs expose health metrics (prefetch
+// ring occupancy and friends) on the same port as the profiles.
+func TestPprofHealthz(t *testing.T) {
+	Default().Gauge("test.healthz_gauge").Set(3)
+	addr, stop, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Status  string             `json:"status"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" {
+		t.Errorf("status = %q, want ok", body.Status)
+	}
+	if body.Metrics["test.healthz_gauge"] != 3 {
+		t.Errorf("metrics = %v, want test.healthz_gauge=3", body.Metrics)
+	}
+}
+
+// TestDefaultRegistryIsStable: Default must hand back the same registry on
+// every call — publishers cache handles from it.
+func TestDefaultRegistryIsStable(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default returned distinct registries")
+	}
+	g := Default().Gauge("test.stable")
+	if g != Default().Gauge("test.stable") {
+		t.Fatal("gauge handle not stable across lookups")
+	}
+}

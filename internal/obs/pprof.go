@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -23,8 +24,25 @@ func StartPprof(addr string) (string, func(), error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", handleHealthz)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close; nothing to report.
 	stop := func() { srv.Close() }
 	return ln.Addr().String(), stop, nil
+}
+
+// handleHealthz reports liveness plus the Default registry's snapshot, so a
+// long run's health gauges (prefetch ring occupancy, queue depths) are
+// visible on the same debug port as the profiles.
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	body, err := json.Marshal(map[string]any{
+		"status":  "ok",
+		"metrics": Default().Snapshot(),
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(body) //nolint:errcheck // best-effort debug endpoint
 }

@@ -129,6 +129,16 @@ type PCC struct {
 	// policy tick in every run, and rebuilding the index slice (plus a
 	// sort closure) each time was measurable allocation churn.
 	order []int
+
+	// mru is the slot of the most recent hit or insert, or -1. Walks from a
+	// sequential sweep record the same region for hundreds of consecutive
+	// calls, so Record checks this one slot before the full scan. The fast
+	// path re-validates the slot and performs exactly the bookkeeping the
+	// scan's hit arm would (tick, lastUse, freq, decay), so contents and
+	// statistics are bit-identical with the hint disabled; valid tags are
+	// unique, so a hinted match is the slot the scan would find. Never
+	// serialized — SetState resets it cold.
+	mru int
 }
 
 // New builds a PCC. It panics on invalid configuration (static hardware
@@ -148,6 +158,7 @@ func New(cfg Config) *PCC {
 		max:     uint32(1)<<uint(cfg.CounterBits) - 1,
 		entries: make([]entry, cfg.Entries),
 		tags:    make([]mem.PageNum, cfg.Entries),
+		mru:     -1,
 	}
 }
 
@@ -169,25 +180,59 @@ func (p *PCC) Record(a mem.VirtAddr) {
 	p.tick++
 	p.stats.Lookups++
 	tag := mem.PageNumber(a, p.cfg.RegionSize)
+	if m := p.mru; m >= 0 && p.tags[m] == tag && p.entries[m].valid {
+		p.bump(&p.entries[m])
+		return
+	}
+	p.record1(tag)
+}
 
+// RecordBatch records every address in order, exactly as one Record call
+// per element would. The machine's walk path buffers post-filter record
+// addresses per core and flushes them here at segment boundaries (and
+// before any PCC reader), keeping the translation hot loop free of calls
+// into this package while preserving the per-walk record order.
+func (p *PCC) RecordBatch(addrs []mem.VirtAddr) {
+	shift := p.cfg.RegionSize.Shift()
+	for _, a := range addrs {
+		p.tick++
+		p.stats.Lookups++
+		tag := mem.PageNum(uint64(a) >> shift)
+		if m := p.mru; m >= 0 && p.tags[m] == tag && p.entries[m].valid {
+			p.bump(&p.entries[m])
+			continue
+		}
+		p.record1(tag)
+	}
+}
+
+// bump applies the hit-path bookkeeping for e: recency stamp, frequency
+// increment, and saturation decay, exactly as in Fig. 3.
+func (p *PCC) bump(e *entry) {
+	p.stats.Hits++
+	e.lastUse = p.tick
+	if e.freq >= p.max {
+		if !p.cfg.DisableDecay {
+			p.decay()
+			e.freq++ // post-halve increment keeps it top-ranked
+		}
+		return
+	}
+	e.freq++
+	if e.freq >= p.max && !p.cfg.DisableDecay {
+		p.decay()
+	}
+}
+
+// record1 is the scan-and-insert slow path of Record, after the caller has
+// advanced the clock and the lookup counter.
+func (p *PCC) record1(tag mem.PageNum) {
 	for i, t := range p.tags {
 		if t != tag || !p.entries[i].valid {
 			continue
 		}
-		e := &p.entries[i]
-		p.stats.Hits++
-		e.lastUse = p.tick
-		if e.freq >= p.max {
-			if !p.cfg.DisableDecay {
-				p.decay()
-				e.freq++ // post-halve increment keeps it top-ranked
-			}
-			return
-		}
-		e.freq++
-		if e.freq >= p.max && !p.cfg.DisableDecay {
-			p.decay()
-		}
+		p.mru = i
+		p.bump(&p.entries[i])
 		return
 	}
 
@@ -206,6 +251,7 @@ func (p *PCC) Record(a mem.VirtAddr) {
 	p.stats.Inserts++
 	p.entries[idx] = entry{valid: true, tag: tag, freq: 0, lastUse: p.tick, inserted: p.tick}
 	p.tags[idx] = tag
+	p.mru = idx
 }
 
 // victim selects the replacement victim index among valid entries according

@@ -56,6 +56,7 @@ func (p *PCC) SetState(s State) error {
 	setEntries(p.entries, s.Entries)
 	p.tick = s.Tick
 	p.stats = s.Stats
+	p.mru = -1 // pure accelerator, re-validated on use; restore it cold
 	p.nvalid = 0
 	for i := range p.entries {
 		// The shadow must match exactly for valid entries; stale shadows of

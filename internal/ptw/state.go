@@ -113,6 +113,9 @@ func (c *pwcCache) setState(s PWCState) error {
 	c.tick = s.Tick
 	c.hits = s.Hits
 	c.miss = s.Miss
+	// The MRU hint is a pure accelerator (every use re-validates the slot),
+	// so it is not serialized; reset it to the canonical cold value.
+	c.mru = -1
 	return nil
 }
 

@@ -33,6 +33,19 @@ type pwcCache struct {
 	valid []bool
 	hits  uint64
 	miss  uint64
+
+	// mru is the slot of the most recent hit or fill, or -1. Sequential
+	// sweeps probe the same upper-level tags for hundreds of consecutive
+	// walks, so probe and insert first check this one slot before paying
+	// the fully-associative scan. The fast path performs exactly the
+	// bookkeeping the scan's hit path would (tick, recency stamp, hit
+	// count), so cache state and statistics are bit-identical with the
+	// hint disabled — which is also why the hint itself is never
+	// serialized: a stale hint can only miss (the slot's valid bit and
+	// tag are re-checked), never change an outcome. Valid tags are unique
+	// (inserts scan for duplicates), so when the hinted slot matches it
+	// is the same slot the scan would have found.
+	mru int
 }
 
 func newPWCCache(capacity int) *pwcCache {
@@ -41,6 +54,7 @@ func newPWCCache(capacity int) *pwcCache {
 		tags:  make([]uint64, capacity),
 		lru:   make([]uint64, capacity),
 		valid: make([]bool, capacity),
+		mru:   -1,
 	}
 }
 
@@ -57,6 +71,12 @@ func (c *pwcCache) probe(tag uint64) (hit bool, victim int) {
 	if c.cap == 0 {
 		return false, -1
 	}
+	if m := c.mru; m >= 0 && c.valid[m] && c.tags[m] == tag {
+		c.tick++
+		c.lru[m] = c.tick
+		c.hits++
+		return true, -1
+	}
 	c.tick++
 	tags := c.tags
 	valid := c.valid[:len(tags)]
@@ -64,6 +84,7 @@ func (c *pwcCache) probe(tag uint64) (hit bool, victim int) {
 		if valid[i] && tags[i] == tag {
 			c.lru[i] = c.tick
 			c.hits++
+			c.mru = i
 			return true, -1
 		}
 	}
@@ -91,10 +112,16 @@ func (c *pwcCache) fillMiss(victim int, tag uint64) {
 	c.tags[victim] = tag
 	c.lru[victim] = c.tick
 	c.valid[victim] = true
+	c.mru = victim
 }
 
 func (c *pwcCache) insert(tag uint64) {
 	if c.cap == 0 {
+		return
+	}
+	if m := c.mru; m >= 0 && c.valid[m] && c.tags[m] == tag {
+		c.tick++
+		c.lru[m] = c.tick
 		return
 	}
 	c.tick++
@@ -102,6 +129,7 @@ func (c *pwcCache) insert(tag uint64) {
 	for i := 0; i < c.cap; i++ {
 		if c.valid[i] && c.tags[i] == tag {
 			c.lru[i] = c.tick
+			c.mru = i
 			return
 		}
 		if !c.valid[i] {
@@ -115,6 +143,7 @@ func (c *pwcCache) insert(tag uint64) {
 	c.tags[victim] = tag
 	c.lru[victim] = c.tick
 	c.valid[victim] = true
+	c.mru = victim
 }
 
 func (c *pwcCache) flush() {

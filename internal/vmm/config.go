@@ -145,35 +145,25 @@ type Core struct {
 	// (fault-time huge allocation, shootdowns, visible async work).
 	StallCycles float64
 
-	// The step-level ("L0") translation filter has two parts.
+	// The core's software translation front end has two lines.
 	//
-	// l0Has/l0SI/l0Proc/l0Page4K/l0Cost are the single-entry MRU filter:
-	// the process (by ID, so arming stores no pointer and incurs no write
-	// barrier), size-class index, 4KB page and base cycle cost of the last
-	// access this core fully translated. A repeat access to the same page
-	// is by construction an L1 TLB hit on the MRU way of its set, so step
-	// can count and charge it without re-running the translation pipeline
-	// — skipping the recency re-stamp of an already-MRU entry changes no
-	// replacement decision, which keeps results bit-identical.
+	// l0Has/l0SI/l0Proc/l0Page4K/l0Cost are line 0 — the single-entry MRU
+	// register line: the process (by ID, so arming stores no pointer and
+	// incurs no write barrier), size-class index, 4KB page and base cycle
+	// cost of the last access this core fully translated. A repeat access
+	// to the same page is by construction an L1 TLB hit on the MRU way of
+	// its set, so the kernels can count and charge it without re-running
+	// the translation pipeline — skipping the recency re-stamp of an
+	// already-MRU entry changes no replacement decision, which keeps
+	// results bit-identical.
 	//
-	// l04K widens that filter into a direct-mapped software translation
-	// table for the 4KB class: one slot per L1-4K TLB set, indexed exactly
-	// like the L1's set index, each slot recording the last 4KB-mapped
-	// page this core translated whose entry landed in that set. Every full
-	// step leaves its page as the most-recently-used way of its L1 set,
-	// and the only event that can displace that recency is a full step
-	// that overwrites the same slot — so a slot match proves the
-	// translation is still the MRU way of its set and the same
-	// count-without-restamp argument applies. The table survives across
-	// steps and segments, catching working sets that ping-pong between a
-	// handful of pages. Only the 4KB class is widened: huge-page slots
-	// would need one slot per L1-2M/1G set keyed by the huge-page number,
-	// and the adversarial never-repeating regimes that touch them gain
-	// nothing from extra slots while paying the arming store on every
-	// access.
+	// tt is the persistent software translation table behind it — one slot
+	// per L1 set for the 4KB and 2MB classes, surviving across steps,
+	// segments and Run calls. See transtable.go for the structure and the
+	// soundness argument.
 	//
-	// Any shootdown or translation flush invalidates the single entry and
-	// the whole table in O(1) by bumping l0Gen (clearL0), so no slot
+	// Any shootdown or translation flush invalidates the register line and
+	// the whole table in O(1) via a generation bump (clearL0), so no entry
 	// outlives the TLB entry it mirrors.
 	l0Has    bool
 	l0SI     int8
@@ -181,10 +171,15 @@ type Core struct {
 	l0Page4K mem.PageNum
 	l0Cost   float64
 
-	l04K     []l0Slot
-	l04KMask uint64 // sets-1 for power-of-two set counts, else 0
-	l04KSets uint64
-	l0Gen    uint32
+	tt transTable
+
+	// pend2M/pend1G buffer post-cold-filter PCC record addresses from the
+	// walk path; the kernels flush them (RecordBatch, in walk order) at
+	// segment boundaries and before any PCC reader, so the per-access body
+	// never calls into the pcc package. Capacity is fixed: the flush-when-
+	// full check in the walk path keeps append from ever growing them.
+	pend2M []mem.VirtAddr
+	pend1G []mem.VirtAddr
 
 	// walkBurst counts consecutive page table walks with no intervening
 	// TLB hit, driving the opt-in PTW memory-level-parallelism model
@@ -192,40 +187,28 @@ type Core struct {
 	walkBurst int
 }
 
-// l0Slot is one entry of the core's step-level translation table. page4K is
-// the exact 4KB page number of the access that armed the slot (so a hit can
-// reuse the armed base cost even when NUMA penalties vary by region), cost
-// its base (no-TLB-miss) cycles-per-access, proc the owning process ID, and
-// gen the l0Gen value at arming time (stale generations are invalid, making
-// clearL0 O(1)).
-type l0Slot struct {
-	page4K mem.PageNum
-	cost   float64
-	proc   int32
-	gen    uint32
-}
-
-// l04KIndex mirrors the L1-4K TLB's setIndex.
-func (c *Core) l04KIndex(vpn mem.PageNum) uint64 {
-	if m := c.l04KMask; m != 0 || c.l04KSets == 1 {
-		return uint64(vpn) & m
-	}
-	return uint64(vpn) % c.l04KSets
-}
-
-// clearL0 drops the core's entire step-level translation filter (called on
-// any shootdown or translation invalidation that could touch a mirrored
-// entry). Generation bumping makes the wide table's clear O(1); on the
-// (practically unreachable) 32-bit wrap the slots are cleared physically so
-// a slot armed 2^32 clears ago can never revalidate.
+// clearL0 drops the core's register line and entire persistent translation
+// table (called on any shootdown or translation invalidation that could
+// touch a mirrored entry, and on snapshot restore). O(1): a generation
+// bump, never a clear loop.
 func (c *Core) clearL0() {
 	c.l0Has = false
-	c.l0Gen++
-	if c.l0Gen == 0 {
-		for i := range c.l04K {
-			c.l04K[i] = l0Slot{}
-		}
-		c.l0Gen = 1
+	c.tt.invalidate()
+}
+
+// flushPCC applies the core's buffered walk-path PCC records, in the exact
+// order the walks recorded them. It runs at every segment end and before
+// every shootdown's PCC invalidate — the only two places buffered records
+// can be pending. All other PCC readers (audits, policy ticks, state
+// capture) execute strictly between segments, where the buffers are empty.
+func (c *Core) flushPCC() {
+	if len(c.pend2M) > 0 {
+		c.PCC2M.RecordBatch(c.pend2M)
+		c.pend2M = c.pend2M[:0]
+	}
+	if len(c.pend1G) > 0 {
+		c.PCC1G.RecordBatch(c.pend1G)
+		c.pend1G = c.pend1G[:0]
 	}
 }
 
@@ -247,14 +230,8 @@ func newCore(id int, cfg Config) *Core {
 		ID:     id,
 		TLB:    tlb.NewHierarchy(cfg.TLB),
 		Walker: ptw.NewWalker(cfg.PWC),
-		l0Gen:  1,
 	}
-	sets := c.TLB.L1(mem.Page4K).Sets()
-	c.l04K = make([]l0Slot, sets)
-	c.l04KSets = uint64(sets)
-	if sets&(sets-1) == 0 {
-		c.l04KMask = uint64(sets - 1)
-	}
+	c.tt = newTransTable(c.TLB.L1(mem.Page4K).Sets(), c.TLB.L1(mem.Page2M).Sets())
 	switch {
 	case cfg.UseVictimTracker:
 		c.Victim = pcc.NewVictimTracker(cfg.PCC2M.Entries)
@@ -267,9 +244,16 @@ func newCore(id int, cfg Config) *Core {
 		}
 	case cfg.EnablePCC:
 		c.PCC2M = pcc.New(cfg.PCC2M)
+		c.pend2M = make([]mem.VirtAddr, 0, pccPendCap)
 		if cfg.Enable1G {
 			c.PCC1G = pcc.New(cfg.PCC1G)
+			c.pend1G = make([]mem.VirtAddr, 0, pccPendCap)
 		}
 	}
 	return c
 }
+
+// pccPendCap bounds a core's buffered walk-path PCC records between
+// flushes; the walk path flushes early when the buffer fills, so segments
+// of any length run without growing it.
+const pccPendCap = 256

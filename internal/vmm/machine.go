@@ -45,6 +45,11 @@ type Machine struct {
 	// Run may shard independent job groups across goroutines.
 	policyBase bool
 
+	// kern is the monomorphized segment kernel resolved once at
+	// construction from the configuration dimensions that change the
+	// per-access body (see kernels.go).
+	kern segKernel
+
 	// numa is nil unless Config.NUMA enables multi-node modeling.
 	numa *numaState
 
@@ -128,6 +133,7 @@ func NewMachine(cfg Config, policy Policy) *Machine {
 		nextTick:   cfg.PromotionInterval,
 		numa:       newNUMAState(cfg.NUMA),
 	}
+	m.kern = pickKernel(cfg)
 	if cfg.EventLogSize != 0 {
 		m.events = obs.NewEventLog(cfg.EventLogSize)
 	}
@@ -253,6 +259,9 @@ func (m *Machine) shootdownAll(now uint64, r mem.Range) {
 	dropped := 0
 	for _, c := range m.cores {
 		c.clearL0()
+		// Buffered walk-path PCC records precede this shootdown in access
+		// order; apply them before the invalidate drops the region.
+		c.flushPCC()
 		dropped += c.TLB.Shootdown(r)
 		c.Walker.InvalidateRange(r)
 		if c.PCC2M != nil {

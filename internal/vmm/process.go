@@ -241,19 +241,6 @@ func (p *Process) mappedPagesIn(v *vma, r mem.Region) (mapped4k, huge int) {
 	return
 }
 
-// markTouched records an application access to the 4KB page containing a.
-func (v *vma) markTouched(a mem.VirtAddr) {
-	v.touched[uint64(a-v.r.Start)>>12] = true
-}
-
-// touchAndState fuses markTouched with stateOf for the access hot path,
-// which needs both and would otherwise compute the page index twice.
-func (v *vma) touchAndState(a mem.VirtAddr) pageState {
-	i := uint64(a-v.r.Start) >> 12
-	v.touched[i] = true
-	return v.state[i]
-}
-
 // BloatBytes returns the memory-bloat metric: bytes inside huge mappings
 // whose 4KB pages the application never touched — memory a base-page
 // policy would not have allocated at all (§2.1's THP bloat).

@@ -1,11 +1,15 @@
 package vmm
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"pccsim/internal/mem"
 	"pccsim/internal/metrics"
+	"pccsim/internal/obs"
 	"pccsim/internal/tlb"
 	"pccsim/internal/trace"
 )
@@ -87,16 +91,50 @@ type liveJob struct {
 }
 
 // executor owns the per-access mutable state of one execution lane: the
-// global access clock position and the deferred base-page allocation
-// counter. The serial Run uses a single executor; the sharded Run gives each
-// worker goroutine its own, setting now per dispatched segment so every
-// access observes exactly the clock value the serial interleaving would
-// have given it. Deferred allocations are pure commutative counters and are
-// flushed into physmem at every synchronization point.
+// global access clock position, the deferred base-page allocation counter,
+// the deferred touched-bit run, and a flattened copy of the cost model so
+// the kernels never chase the config pointer. The serial Run uses a single
+// executor; the sharded Run gives each worker goroutine its own, setting
+// now per dispatched segment so every access observes exactly the clock
+// value the serial interleaving would have given it. Deferred allocations
+// are pure commutative counters and are flushed into physmem at every
+// synchronization point; deferred touches flush at every segment end and
+// before any fault.
 type executor struct {
 	m          *Machine
 	now        uint64 // global simulated-access clock (pre-increment)
 	baseAllocs uint64 // base-page allocations not yet applied to physmem
+
+	// Flattened per-machine constants (set once per executor).
+	cBase     float64 // Config.Cost.BaseCPA
+	cL2Hit    float64 // Config.Cost.L2TLBHit
+	cWalkBase float64 // Config.Cost.WalkBase
+	cWalkRef  float64 // Config.Cost.WalkRef
+	mlpOn     bool    // Config.PTWMLPWidth > 1
+	coldOff   bool    // Config.DisableColdFilter
+
+	// effCPA is the running segment's base cycles-per-access (the process's
+	// BaseCPA or the config default), resolved once per segment in runSeg.
+	effCPA float64
+
+	// Deferred touched-bit run: 4KB page indexes [tLo, tHi] of tV awaiting
+	// touched = true (see executor.touch).
+	tV       *vma
+	tLo, tHi uint64
+}
+
+// newExecutor builds an execution lane with the machine's cost model
+// flattened in.
+func (m *Machine) newExecutor() *executor {
+	return &executor{
+		m:         m,
+		cBase:     m.cfg.Cost.BaseCPA,
+		cL2Hit:    m.cfg.Cost.L2TLBHit,
+		cWalkBase: m.cfg.Cost.WalkBase,
+		cWalkRef:  m.cfg.Cost.WalkRef,
+		mlpOn:     m.cfg.PTWMLPWidth > 1,
+		coldOff:   m.cfg.DisableColdFilter,
+	}
 }
 
 // flushAllocs applies the deferred base-page allocation count to physmem.
@@ -201,7 +239,8 @@ const serialChunk = 512
 // re-segments at tick boundaries and access order is unchanged — so the two
 // paths are bit-identical.
 func (m *Machine) runSerial(live []*liveJob) {
-	ex := &executor{m: m, now: m.accessCount}
+	ex := m.newExecutor()
+	ex.now = m.accessCount
 	if len(live) == 1 {
 		j := live[0]
 		if j.block != nil {
@@ -360,8 +399,17 @@ type blockPrefetcher struct {
 	free chan []trace.Access // consumed buffers returning for reuse
 	cur  []trace.Access      // block the coordinator is currently slicing
 	pos  int
+	ring *obs.Gauge // decoded-blocks-queued occupancy of out
 	wg   sync.WaitGroup
 }
+
+// ringGauge is the Default-registry gauge all block prefetchers publish
+// their ring occupancy to (decoded blocks queued, summed across jobs): a
+// value pinned at 0 during a slow run means simulation is starved on
+// decode, a value pinned at prefetchDepth means decode is ahead and the
+// simulation itself is the bottleneck. Visible on -pprof's /healthz and the
+// daemon's /healthz.
+const ringGauge = "vmm.prefetch.ring_occupancy"
 
 // prefetchDepth is how many decoded blocks a prefetcher owns: one being
 // consumed, one queued, one being decoded (double-buffered from the
@@ -378,8 +426,9 @@ func newBlockPrefetcher(src trace.BlockSource) *blockPrefetcher {
 	for i := 0; i < prefetchDepth; i++ {
 		p.free <- make([]trace.Access, trace.BlockAccesses)
 	}
+	p.ring = obs.Default().Gauge(ringGauge)
 	p.wg.Add(1)
-	go func() {
+	go pprof.Do(context.Background(), pprof.Labels("pccsim", "block-prefetcher"), func(context.Context) {
 		defer p.wg.Done()
 		for buf := range p.free {
 			n := src.DecodeBlock(buf[:cap(buf)])
@@ -388,8 +437,9 @@ func newBlockPrefetcher(src trace.BlockSource) *blockPrefetcher {
 				return
 			}
 			p.out <- buf[:n]
+			p.ring.Add(1)
 		}
-	}()
+	})
 	return p
 }
 
@@ -403,6 +453,7 @@ func (p *blockPrefetcher) take(max int) (seg, done []trace.Access) {
 		if !ok {
 			return nil, nil
 		}
+		p.ring.Add(-1)
 		p.cur, p.pos = blk, 0
 	}
 	seg = p.cur[p.pos:]
@@ -444,12 +495,12 @@ func (m *Machine) runSharded(live []*liveJob, groupOf []int, groups int) {
 	execs := make([]*executor, nw)
 	queues := make([]chan shardTask, nw)
 	for w := 0; w < nw; w++ {
-		ex := &executor{m: m}
+		ex := m.newExecutor()
 		execs[w] = ex
 		q := make(chan shardTask, 64)
 		queues[w] = q
 		workers.Add(1)
-		go func() {
+		go pprof.Do(context.Background(), pprof.Labels("pccsim", "shard-worker", "worker", strconv.Itoa(w)), func(context.Context) {
 			defer workers.Done()
 			for t := range q {
 				if t.fin {
@@ -464,7 +515,7 @@ func (m *Machine) runSharded(live []*liveJob, groupOf []int, groups int) {
 				}
 				inflight.Done()
 			}
-		}()
+		})
 	}
 	dispatch := func(w int, t shardTask) {
 		inflight.Add(1)
@@ -607,15 +658,30 @@ func (m *Machine) runBatch(ex *executor, j *Job, batch []trace.Access) {
 	}
 }
 
-// runSeg advances one tick-free segment of j, hoisting the thread-to-core
-// dispatch for single-core jobs.
+// runSeg advances one tick-free segment of j: single-core segments dispatch
+// to the machine's monomorphized kernel (resolved once at machine build —
+// see kernels.go), multi-core segments run the per-access step with the
+// thread-to-core dispatch inline. Deferred per-segment state — the
+// touched-bit run and the cores' buffered PCC records — flushes on exit,
+// so everything that runs between segments (ticks, audits, state capture)
+// observes fully-applied state.
 func (ex *executor) runSeg(j *Job, seg []trace.Access) {
+	if ex.effCPA = j.Proc.BaseCPA; ex.effCPA == 0 {
+		ex.effCPA = ex.cBase
+	}
 	if len(j.Cores) == 1 {
-		ex.stepSegment(ex.m.cores[j.Cores[0]], j.Proc, seg)
+		c := ex.m.cores[j.Cores[0]]
+		ex.m.kern(ex, c, j.Proc, seg)
+		ex.flushTouch()
+		c.flushPCC()
 		return
 	}
 	for i := range seg {
 		ex.step(ex.m.cores[j.Cores[seg[i].Thread%len(j.Cores)]], j.Proc, seg[i].Addr)
+	}
+	ex.flushTouch()
+	for _, ci := range j.Cores {
+		ex.m.cores[ci].flushPCC()
 	}
 }
 
@@ -630,32 +696,50 @@ func (m *Machine) maxCycles(cores []int) float64 {
 	return mx
 }
 
-// step simulates one memory access by process p on core c.
+// step simulates one memory access by process p on core c — the multi-core
+// per-access path, probing the register line and both persistent-table
+// classes before falling back to the full pipeline.
 func (ex *executor) step(c *Core, p *Process, addr mem.VirtAddr) {
 	vpn := mem.PageNum(addr >> 12)
 	proc := int32(p.ID)
 	if c.l0Has && c.l0Proc == proc && c.l0Page4K == vpn {
-		// L0 filter hit: same core, process and 4KB page as this core's
-		// previous full translation, so the translation is the MRU way of
-		// its L1 set and the full pipeline below would change nothing but
-		// counters.
+		// Register-line hit: same core, process and 4KB page as this
+		// core's previous full translation, so the translation is the MRU
+		// way of its L1 set and the full pipeline below would change
+		// nothing but counters.
 		ex.now++
 		c.Accesses++
 		c.TLB.CountL1HitsIndexed(int(c.l0SI), 1)
 		c.Cycles += c.l0Cost
-		if ex.m.cfg.PTWMLPWidth > 1 {
+		if ex.mlpOn {
 			c.walkBurst = 0 // an L1 hit, even filter-served, breaks a walk burst
 		}
 		return
 	}
-	if s := &c.l04K[c.l04KIndex(vpn)]; s.gen == c.l0Gen && s.page4K == vpn && s.proc == proc {
-		// Wide-table hit: the page is still the MRU way of its L1-4K set.
+	if s := &c.tt.slots4K[c.tt.idx4K(vpn)]; s.gen == c.tt.gen && s.page == vpn && s.proc == proc {
+		// Table 4K hit: the page is still the MRU way of its L1-4K set.
 		ex.now++
 		c.Accesses++
 		c.TLB.CountL1HitsIndexed(0, 1)
 		c.Cycles += s.cost
 		c.l0Has, c.l0SI, c.l0Proc, c.l0Page4K, c.l0Cost = true, 0, proc, vpn, s.cost
-		if ex.m.cfg.PTWMLPWidth > 1 {
+		if ex.mlpOn {
+			c.walkBurst = 0
+		}
+		return
+	}
+	hpn := mem.PageNum(addr >> 21)
+	if s := &c.tt.slots2M[c.tt.idx2M(hpn)]; s.gen == c.tt.gen && s.page == hpn && s.proc == proc {
+		// Table 2M hit: a guaranteed L1-2M hit; only the 4KB page's
+		// touched bit still needs recording.
+		ex.now++
+		c.Accesses++
+		c.TLB.CountL1HitsIndexed(1, 1)
+		c.Cycles += s.cost
+		v := p.vmaOf(addr)
+		ex.touch(v, uint64(addr-v.r.Start)>>12)
+		c.l0Has, c.l0SI, c.l0Proc, c.l0Page4K, c.l0Cost = true, 1, proc, vpn, s.cost
+		if ex.mlpOn {
 			c.walkBurst = 0
 		}
 		return
@@ -663,85 +747,22 @@ func (ex *executor) step(c *Core, p *Process, addr mem.VirtAddr) {
 	ex.stepFull(c, p, addr)
 }
 
-// stepSegment advances one single-core tick-free segment, keeping the most
-// recent L0 table entry in registers: consecutive accesses to the same 4KB
-// page — the dominant pattern in cache-line-granular traces — reduce to one
-// compare and one float add each, and a jump to any other L0-resident page
-// costs one table probe. Integer counters for a hit run are batched and
-// flushed before the next full step (and at segment end), so every full
-// step and the tick check observe exactly the access clock the per-access
-// loop produced; Cycles stays a per-access float add in original order so
-// accumulated runtimes are bit-identical.
-func (ex *executor) stepSegment(c *Core, p *Process, seg []trace.Access) {
-	proc := int32(p.ID)
-	var hits uint64
-	var hitSI int
-	var runVPN mem.PageNum
-	var runCost float64
-	runOK := false
-	if c.l0Has && c.l0Proc == proc {
-		runVPN, runCost, hitSI, runOK = c.l0Page4K, c.l0Cost, int(c.l0SI), true
-	}
-	// Cycles lives in a register across the segment: the additions happen
-	// in exactly the per-access order (so float accumulation stays
-	// bit-identical), only the load/store per access is hoisted. It is
-	// written back around every stepFull, which mutates c.Cycles itself.
-	cyc := c.Cycles
-	for i := range seg {
-		addr := seg[i].Addr
-		vpn := mem.PageNum(addr >> 12)
-		if runOK && vpn == runVPN {
-			cyc += runCost
-			hits++
-			continue
-		}
-		if hits > 0 {
-			ex.flushL0Hits(c, hitSI, hits)
-			hits = 0
-		}
-		if s := &c.l04K[c.l04KIndex(vpn)]; s.gen == c.l0Gen && s.page4K == vpn && s.proc == proc {
-			// Wide-table hit: start a new same-page run without
-			// re-entering the full pipeline.
-			cyc += s.cost
-			hits = 1
-			hitSI, runVPN, runCost, runOK = 0, vpn, s.cost, true
-			continue
-		}
-		c.Cycles = cyc
-		ex.stepFull(c, p, addr)
-		cyc = c.Cycles
-		// stepFull re-arms the filter for its own access (and a fault may
-		// have cleared other state), so re-read it.
-		if c.l0Has && c.l0Proc == proc {
-			hitSI, runVPN, runCost, runOK = int(c.l0SI), c.l0Page4K, c.l0Cost, true
-		} else {
-			runOK = false
-		}
-	}
-	c.Cycles = cyc
-	if hits > 0 {
-		ex.flushL0Hits(c, hitSI, hits)
-	}
-	if runOK {
-		// Keep the single-entry filter pointing at the run we ended on, so
-		// the next segment (or a multi-core step) resumes from it.
-		c.l0Has, c.l0SI, c.l0Proc, c.l0Page4K, c.l0Cost = true, int8(hitSI), proc, runVPN, runCost
-	}
-}
-
-// flushL0Hits folds a run of n deferred L0 table hits into the counters the
+// flushL0Hits folds a run of n deferred filter hits into the counters the
 // per-access path would have bumped one at a time.
 func (ex *executor) flushL0Hits(c *Core, si int, n uint64) {
 	ex.now += n
 	c.Accesses += n
 	c.TLB.CountL1HitsIndexed(si, n)
-	if ex.m.cfg.PTWMLPWidth > 1 {
+	if ex.mlpOn {
 		c.walkBurst = 0 // filter-served L1 hits break a walk burst
 	}
 }
 
-// stepFull is the full translation pipeline for one access: VMA lookup,
-// fault handling, TLB hierarchy, page table walk and PCC insertion.
+// stepFull is the generic full translation pipeline for one access: VMA
+// lookup, fault handling, TLB hierarchy, page table walk and PCC record
+// buffering. Machines without NUMA or PTW-MLP run stepFullFast
+// (kernels.go) instead, which is this routine with those branches
+// monomorphized away.
 func (ex *executor) stepFull(c *Core, p *Process, addr mem.VirtAddr) {
 	m := ex.m
 	ex.now++
@@ -749,38 +770,27 @@ func (ex *executor) stepFull(c *Core, p *Process, addr mem.VirtAddr) {
 
 	v := p.vmaOf(addr)
 	if v == nil {
-		// Access outside every VMA: a wild pointer the workload
-		// generator should never produce.
-		panic(fmt.Sprintf("vmm: access %#x outside VMAs of %s", uint64(addr), p.Name))
+		panicOutsideVMA(p, addr)
 	}
+	idx := uint64(addr-v.r.Start) >> 12
 	var size mem.PageSize
 	var si int
-	switch v.touchAndState(addr) {
-	case state4K:
-		size = mem.Page4K
-	case state2M:
-		size, si = mem.Page2M, 1
-	case state1G:
-		size, si = mem.Page1G, 2
-	default:
-		ex.fault(c, p, addr)
-		s, mapped := p.StateOf(addr)
-		if !mapped {
-			panic(fmt.Sprintf("vmm: fault left %#x unmapped in %s", uint64(addr), p.Name))
+	if st := v.state[idx]; st != stateUnmapped {
+		// Monotone bit: store directly (see stepFullFast).
+		v.touched[idx] = true
+		switch st {
+		case state2M:
+			size, si = mem.Page2M, 1
+		case state1G:
+			size, si = mem.Page1G, 2
+		default:
+			size = mem.Page4K
 		}
-		size = s
-		switch size {
-		case mem.Page2M:
-			si = 1
-		case mem.Page1G:
-			si = 2
-		}
+	} else {
+		size, si = ex.faultPath(c, p, v, idx, addr)
 	}
 
-	cost := p.BaseCPA
-	if cost == 0 {
-		cost = m.cfg.Cost.BaseCPA
-	}
+	cost := ex.effCPA
 	if m.numa != nil {
 		cost += m.numa.penalty(p, addr)
 	}
@@ -788,20 +798,20 @@ func (ex *executor) stepFull(c *Core, p *Process, addr mem.VirtAddr) {
 
 	switch c.TLB.Access(addr, size) {
 	case tlb.HitL1:
-		if m.cfg.PTWMLPWidth > 1 {
+		if ex.mlpOn {
 			c.walkBurst = 0
 		}
 	case tlb.HitL2:
-		cost += m.cfg.Cost.L2TLBHit
+		cost += ex.cL2Hit
 		if size == mem.Page2M {
 			v.noteUse2M(addr, ex.now)
 		}
-		if m.cfg.PTWMLPWidth > 1 {
+		if ex.mlpOn {
 			c.walkBurst = 0
 		}
 	default: // tlb.Miss → page table walk
 		info := c.Walker.Walk(p.Table, addr)
-		walk := m.cfg.Cost.WalkBase + float64(info.Levels)*m.cfg.Cost.WalkRef
+		walk := ex.cWalkBase + float64(info.Levels)*ex.cWalkRef
 		if w := m.cfg.PTWMLPWidth; w > 1 {
 			// PTW MLP model: consecutive walks with no intervening TLB
 			// hit are independent (no dependent loads between them in
@@ -819,36 +829,9 @@ func (ex *executor) stepFull(c *Core, p *Process, addr mem.VirtAddr) {
 		if size == mem.Page2M {
 			v.noteUse2M(addr, ex.now)
 		}
-
-		// PCC insertion path (Fig. 3): gated by the pre-walk accessed
-		// bit at the PMD (2MB) / PUD (1GB) level — the cold-miss filter.
-		if c.PCC2M != nil {
-			if size == mem.Page1G {
-				// 1GB-mapped walks never feed the 2MB PCC.
-			} else if info.PMDWasAccessed || m.cfg.DisableColdFilter {
-				c.PCC2M.Record(addr)
-			} else {
-				c.Walker.NoteColdFiltered()
-			}
-		}
-		if c.PCC1G != nil && (info.PUDWasAccessed || m.cfg.DisableColdFilter) {
-			c.PCC1G.Record(addr)
-		}
+		ex.recordWalk(c, info, size, addr)
 	}
 	c.Cycles += cost
 
-	// Arm the L0 filter: whichever path ran, the translation this access
-	// used is now the MRU way of its L1 set, so a repeat access to the same
-	// 4KB page is an L1 hit at the base (no-TLB-miss) cost. 4KB-mapped
-	// pages additionally arm their set's slot in the wide table.
-	vpn4k := mem.PageNum(addr >> 12)
-	proc := int32(p.ID)
-	c.l0Has, c.l0SI, c.l0Proc, c.l0Page4K, c.l0Cost = true, int8(si), proc, vpn4k, baseCost
-	if si == 0 {
-		s := &c.l04K[c.l04KIndex(vpn4k)]
-		s.page4K = vpn4k
-		s.cost = baseCost
-		s.proc = proc
-		s.gen = c.l0Gen
-	}
+	armL0(c, p, addr, si, baseCost)
 }

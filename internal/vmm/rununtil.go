@@ -57,9 +57,11 @@ func (m *Machine) StartRun(jobs ...*Job) error {
 		}
 		live[i] = &liveJob{Job: j, stream: trace.Batched(j.Stream)}
 	}
+	ex := m.newExecutor()
+	ex.now = m.accessCount
 	s := &sched{
 		live:      live,
-		ex:        &executor{m: m, now: m.accessCount},
+		ex:        ex,
 		sliceLeft: jobSlice,
 		remaining: len(live),
 	}
