@@ -64,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		audit     = fs.Bool("audit", false, "verify machine invariants every policy tick and print the merged metrics snapshot")
 		events    = fs.String("events", "", "write the simulation event trace (promotions, PCC dumps, compactions, shootdowns) to this file")
 		pprofAddr = fs.String("pprof", "", "serve Go pprof endpoints on this address (e.g. localhost:6060) while running")
+		tenants   = fs.Int("tenants", 0, "restrict figtenant to this tenant count (0 = sweep 2 and 4)")
+		churn     = fs.Int("churn-procs", 0, "cap on concurrent churn processes in figtenant's lifecycle cells (0 = default)")
+		skew      = fs.String("quota-skew", "", "restrict figtenant's quota split: even or skewed (default: sweep both)")
 		serveAddr = fs.String("serve", "", "run as a long-lived daemon serving the experiment HTTP API on this address (e.g. localhost:8080); -exp is ignored")
 		ckptPath  = fs.String("checkpoint", "", "grid checkpoint file the daemon writes on SIGTERM/SIGINT (requires -serve)")
 		restore   = fs.Bool("restore", false, "resume pending grid work from -checkpoint at startup (requires -serve and -checkpoint)")
@@ -81,6 +84,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *traceMiB < 0 {
 		fmt.Fprintf(stderr, "pccsim: -tracecache must be >= 0 MiB, got %d\n", *traceMiB)
+		return 2
+	}
+	if *tenants < 0 {
+		fmt.Fprintf(stderr, "pccsim: -tenants must be >= 0, got %d\n", *tenants)
+		return 2
+	}
+	if *churn < 0 {
+		fmt.Fprintf(stderr, "pccsim: -churn-procs must be >= 0, got %d\n", *churn)
+		return 2
+	}
+	if *skew != "" && *skew != "even" && *skew != "skewed" {
+		fmt.Fprintf(stderr, "pccsim: -quota-skew must be \"even\" or \"skewed\", got %q\n", *skew)
 		return 2
 	}
 	if *ckptPath != "" && *serveAddr == "" {
@@ -123,6 +138,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			o.TraceCache = *traceMiB << 20
 		}
+		o.Tenants = *tenants
+		o.ChurnProcs = *churn
+		o.QuotaSkew = *skew
 		return o
 	}
 	o := buildOptions(stdout)

@@ -1,9 +1,13 @@
-// Multi-tenant study: two processes — TLB-sensitive PageRank and
+// Multi-tenant study: two tenants — TLB-sensitive PageRank and
 // TLB-insensitive mcf — share one machine and a limited huge page budget
-// (§5.3 of the paper). The OS merges candidates from both cores' PCCs
-// either by highest frequency (biases the TLB-sensitive tenant) or
-// round-robin (fair). The frequency policy wins when exactly one tenant is
-// TLB-sensitive, because the other's PCC holds little of value.
+// (§5.3 of the paper). Each tenant is registered through vmm.AddTenant with a
+// HugeShare slice of the machine-wide budget. The OS merges candidates from
+// both cores' PCCs either by highest frequency (biases the TLB-sensitive
+// tenant) or round-robin (fair). The frequency policy wins when exactly one
+// tenant is TLB-sensitive, because the other's PCC holds little of value.
+// A final section reruns the shared-budget configuration with lifecycle
+// churn enabled — short-lived processes spawning, exec'ing and exiting under
+// the same budget — to show the noisy-neighbor interference figtenant sweeps.
 package main
 
 import (
@@ -23,21 +27,34 @@ func main() {
 		"budget", "policy", "PR cycles", "mcf cycles", "PR #THP", "mcf #THP")
 
 	// Baseline co-run for speedup reference.
-	basePR, baseMcf, _, _ := corun(prSpec, mcfSpec, nil, 0)
+	basePR, baseMcf, _, _ := corun(prSpec, mcfSpec, nil, 0, false)
 
 	for _, budget := range []float64{5, 20, 100} {
 		for _, sel := range []ospolicy.SelectionPolicy{ospolicy.HighestFrequency, ospolicy.RoundRobin} {
-			pr, mcf, prTHP, mcfTHP := corun(prSpec, mcfSpec, &sel, budget)
+			pr, mcf, prTHP, mcfTHP := corun(prSpec, mcfSpec, &sel, budget, false)
 			fmt.Printf("%-14s %-12s %9.3g %9.3g %8d %8d   (PR %.2fx, mcf %.2fx)\n",
 				fmt.Sprintf("%.0f%% combined", budget), sel, pr, mcf, prTHP, mcfTHP,
 				basePR/pr, baseMcf/mcf)
 		}
 	}
+
+	// Noisy neighbors: the same 20%-budget frequency configuration with
+	// lifecycle churn — forked processes grab huge pages from the shared
+	// budget, fault their address spaces in, and exit (returning the frames
+	// and forcing TLB shootdowns into the tenants' cores).
+	fmt.Println("\nwith lifecycle churn (spawn/exec/exit of short-lived processes):")
+	sel := ospolicy.HighestFrequency
+	quietPR, quietMcf, _, _ := corun(prSpec, mcfSpec, &sel, 20, false)
+	noisyPR, noisyMcf, _, _ := corun(prSpec, mcfSpec, &sel, 20, true)
+	fmt.Printf("PR  %9.3g -> %9.3g cycles (%.4fx)\n", quietPR, noisyPR, noisyPR/quietPR)
+	fmt.Printf("mcf %9.3g -> %9.3g cycles (%.4fx)\n", quietMcf, noisyMcf, noisyMcf/quietMcf)
 }
 
 // corun simulates the two workloads on two cores; sel == nil means the 4KB
-// baseline. Returns per-process runtimes and huge page counts.
-func corun(a, b workloads.Spec, sel *ospolicy.SelectionPolicy, budgetPct float64) (float64, float64, int, int) {
+// baseline. With a budget, each tenant gets half the machine-wide huge page
+// pool via TenantConfig.HugeShare. Returns per-process runtimes and huge page
+// counts.
+func corun(a, b workloads.Spec, sel *ospolicy.SelectionPolicy, budgetPct float64, churn bool) (float64, float64, int, int) {
 	wa, err := workloads.Build(a)
 	if err != nil {
 		panic(err)
@@ -52,6 +69,7 @@ func corun(a, b workloads.Spec, sel *ospolicy.SelectionPolicy, budgetPct float64
 	cfg.PromotionInterval = 500_000
 	var policy vmm.Policy = ospolicy.Baseline{}
 	var engine *ospolicy.PCCEngine
+	shared := false
 	if sel != nil {
 		cfg.EnablePCC = true
 		ec := ospolicy.DefaultPCCEngineConfig()
@@ -61,12 +79,27 @@ func corun(a, b workloads.Spec, sel *ospolicy.SelectionPolicy, budgetPct float64
 		if budgetPct > 0 && budgetPct < 100 {
 			combined := float64(wa.Footprint() + wb.Footprint())
 			cfg.MaxHugeBytesTotal = uint64(budgetPct / 100 * combined)
+			shared = true
 		}
+	}
+	if churn {
+		cfg.Lifecycle = vmm.DefaultLifecycleConfig()
 	}
 
 	m := vmm.NewMachine(cfg, policy)
-	pa := m.AddProcess(wa.Name(), wa.Ranges(), wa.BaseCPA())
-	pb := m.AddProcess(wb.Name(), wb.Ranges(), wb.BaseCPA())
+	addTenant := func(w workloads.Workload) *vmm.Process {
+		tc := vmm.TenantConfig{Name: w.Name(), Ranges: w.Ranges(), BaseCPA: w.BaseCPA()}
+		if shared {
+			tc.HugeShare = 0.5 // half the machine-wide budget each
+		}
+		p, err := m.AddTenant(tc)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	pa := addTenant(wa)
+	pb := addTenant(wb)
 	if engine != nil {
 		engine.Bind(0, pa)
 		engine.Bind(1, pb)
@@ -75,6 +108,11 @@ func corun(a, b workloads.Spec, sel *ospolicy.SelectionPolicy, budgetPct float64
 		&vmm.Job{Proc: pa, Stream: wa.Stream(), Cores: []int{0}},
 		&vmm.Job{Proc: pb, Stream: wb.Stream(), Cores: []int{1}},
 	)
+	if churn {
+		ls := m.LifecycleStats()
+		fmt.Printf("(churn: %d spawns, %d exits, %d execs, %d populate promotions)\n",
+			ls.Spawns, ls.Exits, ls.Execs, ls.Promotions2M)
+	}
 	return res.PerProc[0].RuntimeCycles, res.PerProc[1].RuntimeCycles,
 		res.PerProc[0].HugePages2M, res.PerProc[1].HugePages2M
 }

@@ -26,7 +26,7 @@ func TestGolden(t *testing.T) {
 	if raceEnabled {
 		t.Skip("byte-identical output comparison adds no race coverage over the grid tests; skipped under -race to stay within the package test timeout")
 	}
-	for _, name := range []string{"fig1", "fig5", "fig6", "fig7", "figfrag"} {
+	for _, name := range []string{"fig1", "fig5", "fig6", "fig7", "figfrag", "figtenant"} {
 		t.Run(name, func(t *testing.T) {
 			var got []byte
 			for _, w := range []int{1, 8} {

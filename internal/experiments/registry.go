@@ -29,6 +29,7 @@ var Registry = map[string]Driver{
 	"fig7-50":             func(o Options) error { _, err := Fig7(o, 0.5); return err },
 	"fig8":                func(o Options) error { _, err := Fig8(o, nil); return err },
 	"figfrag":             func(o Options) error { _, err := FigFrag(o); return err },
+	"figtenant":           func(o Options) error { _, err := FigTenant(o); return err },
 	"fig9a":               func(o Options) error { _, err := Fig9(o, "PR", "mcf"); return err },
 	"fig9b":               func(o Options) error { _, err := Fig9(o, "PR", "SSSP"); return err },
 	"ablation-repl":       func(o Options) error { _, err := AblationReplacement(o); return err },

@@ -95,6 +95,15 @@ type Options struct {
 	// past the end of the stream checkpoints a completed machine, which is
 	// valid and equally exercised.
 	SnapshotCut func(name string) uint64
+	// Tenants restricts the figtenant sweep to one tenant count (0 = the
+	// default {2, 4} grid; the CLI's -tenants flag).
+	Tenants int
+	// ChurnProcs overrides the churn process cap in figtenant's
+	// churn-enabled cells (0 = vmm.DefaultLifecycleConfig's cap; -churn-procs).
+	ChurnProcs int
+	// QuotaSkew restricts the figtenant quota split to "even" or "skewed"
+	// ("" = sweep both; -quota-skew).
+	QuotaSkew string
 }
 
 // pool returns the run pool the options select. Its worker budget is the

@@ -120,6 +120,22 @@ func NewHawkEye(cfg HawkEyeConfig) *HawkEye {
 // Name implements vmm.Policy.
 func (h *HawkEye) Name() string { return "HawkEye" }
 
+// OnProcessExit implements vmm.ProcessReaper: drop every tracked region of
+// the dead process (the entries hold *vmm.Process pointers, so leaving them
+// would pin the dead address space and re-promote into freed memory).
+func (h *HawkEye) OnProcessExit(p *vmm.Process) { h.OnAddressSpaceTeardown(p) }
+
+// OnAddressSpaceTeardown implements vmm.AddressSpaceReaper: after exec the
+// coverage estimates describe an address space that no longer exists, so the
+// process's regions start from scratch.
+func (h *HawkEye) OnAddressSpaceTeardown(p *vmm.Process) {
+	for k := range h.regions {
+		if k.pid == p.ID {
+			delete(h.regions, k)
+		}
+	}
+}
+
 // BaseFaultOnly marks the fault path as base-pages-only, letting the
 // machine devirtualize it and shard independent jobs (vmm.BaseFaultOnly).
 func (h *HawkEye) BaseFaultOnly() {}

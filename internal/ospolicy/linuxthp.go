@@ -117,6 +117,17 @@ func NewLinuxTHP(cfg LinuxTHPConfig) *LinuxTHP {
 // Name implements vmm.Policy.
 func (l *LinuxTHP) Name() string { return "Linux-THP" }
 
+// OnProcessExit implements vmm.ProcessReaper.
+func (l *LinuxTHP) OnProcessExit(p *vmm.Process) { l.OnAddressSpaceTeardown(p) }
+
+// OnAddressSpaceTeardown implements vmm.AddressSpaceReaper: MADV_HUGEPAGE
+// advice does not survive exec (the ranges belong to the torn-down mappings),
+// and keeping entries for dead PIDs would silently re-apply stale advice if
+// the kernel ever reused the ID.
+func (l *LinuxTHP) OnAddressSpaceTeardown(p *vmm.Process) {
+	delete(l.advised, p.ID)
+}
+
 // OnFault implements vmm.Policy: request a huge page for every eligible
 // first touch while not in deferred mode. The machine reports back through
 // Phys() state; we track compaction pressure by observing free blocks.

@@ -117,6 +117,36 @@ func NewPCCEngine(cfg PCCEngineConfig) *PCCEngine {
 // candidates dumped from that core's PCC belong to proc's address space).
 func (e *PCCEngine) Bind(core int, proc *vmm.Process) { e.coreProc[core] = proc }
 
+// OnProcessExit implements vmm.ProcessReaper: every ledger entry keyed by
+// the dead process — core bindings, idle-tracking samples and cold counters
+// — is dropped the instant the process exits, so no stale pointer or PID
+// survives into the next tick (Machine.Audit cross-checks this).
+func (e *PCCEngine) OnProcessExit(p *vmm.Process) {
+	for core, q := range e.coreProc {
+		if q == p {
+			delete(e.coreProc, core)
+		}
+	}
+	e.OnAddressSpaceTeardown(p)
+}
+
+// OnAddressSpaceTeardown implements vmm.AddressSpaceReaper: on exec the PID
+// survives but every 2MB region the idle tracker was watching is unmapped,
+// so the region-keyed ledgers reset (core bindings stay — the process keeps
+// running).
+func (e *PCCEngine) OnAddressSpaceTeardown(p *vmm.Process) {
+	for k := range e.lastSample {
+		if k.pid == p.ID {
+			delete(e.lastSample, k)
+		}
+	}
+	for k := range e.coldTicks {
+		if k.pid == p.ID {
+			delete(e.coldTicks, k)
+		}
+	}
+}
+
 // Name implements vmm.Policy.
 func (e *PCCEngine) Name() string {
 	return "PCC(" + e.cfg.Selection.String() + ")"
@@ -364,31 +394,54 @@ func (e *PCCEngine) PublishMetrics(s obs.Snapshot) {
 	s.Add("ospolicy.demoted.2m", float64(e.stats.Demoted2M))
 }
 
-// AuditPolicy implements vmm.PolicyAuditor: the engine is the sole source
-// of promotions and demotions when installed, so its ledger must match the
-// per-process ground truth exactly, and every idle-tracking key must refer
-// to a region that is still 2MB-mapped.
+// AuditPolicy implements vmm.PolicyAuditor: promotions come only from the
+// engine and the lifecycle churn populate path, and demotions only from the
+// engine and the pressure reclaim, so those ledgers plus the machine's
+// reaped tallies must match the per-process ground truth exactly; every
+// idle-tracking key and core binding must refer to a live process, and
+// (absent 1GB/pressure interference) to a region still 2MB-mapped.
 func (e *PCCEngine) AuditPolicy(m *vmm.Machine) []string {
 	var bad []string
 	var p2m, p1g, dem uint64
+	livePID := map[int]bool{}
 	for _, p := range m.Procs() {
 		p2m += p.Promotions2M
 		p1g += p.Promotions1G
 		dem += p.Demotions
+		livePID[p.ID] = true
 	}
-	if e.stats.Promoted2M != p2m {
-		bad = append(bad, fmt.Sprintf("ospolicy: engine promoted %d 2MB regions but processes record %d",
-			e.stats.Promoted2M, p2m))
+	reaped := m.Reaped()
+	lifecycle := m.LifecycleStats()
+	if e.stats.Promoted2M+lifecycle.Promotions2M != p2m+reaped.Promotions2M {
+		bad = append(bad, fmt.Sprintf("ospolicy: engine promoted %d + lifecycle %d 2MB regions but processes record %d live + %d reaped",
+			e.stats.Promoted2M, lifecycle.Promotions2M, p2m, reaped.Promotions2M))
 	}
-	if e.stats.Promoted1G != p1g {
-		bad = append(bad, fmt.Sprintf("ospolicy: engine promoted %d 1GB regions but processes record %d",
-			e.stats.Promoted1G, p1g))
+	if e.stats.Promoted1G != p1g+reaped.Promotions1G {
+		bad = append(bad, fmt.Sprintf("ospolicy: engine promoted %d 1GB regions but processes record %d live + %d reaped",
+			e.stats.Promoted1G, p1g, reaped.Promotions1G))
 	}
 	// Pressure demotions (the machine's watermark reclaim) also land in the
 	// per-process Demotions tally without passing through the engine.
-	if e.stats.Demoted2M+m.PressureDemotions != dem {
-		bad = append(bad, fmt.Sprintf("ospolicy: engine demoted %d regions + %d pressure demotions but processes record %d",
-			e.stats.Demoted2M, m.PressureDemotions, dem))
+	if e.stats.Demoted2M+m.PressureDemotions != dem+reaped.Demotions {
+		bad = append(bad, fmt.Sprintf("ospolicy: engine demoted %d regions + %d pressure demotions but processes record %d live + %d reaped",
+			e.stats.Demoted2M, m.PressureDemotions, dem, reaped.Demotions))
+	}
+	// Ledger entries must never outlive their process (OnProcessExit prunes
+	// them at the exit instant).
+	for core, p := range e.coreProc {
+		if !livePID[p.ID] {
+			bad = append(bad, fmt.Sprintf("ospolicy: core %d bound to dead pid %d", core, p.ID))
+		}
+	}
+	for k := range e.lastSample {
+		if !livePID[k.pid] {
+			bad = append(bad, fmt.Sprintf("ospolicy: idle sample references dead pid %d", k.pid))
+		}
+	}
+	for k := range e.coldTicks {
+		if !livePID[k.pid] {
+			bad = append(bad, fmt.Sprintf("ospolicy: idle-tracker key references dead pid %d", k.pid))
+		}
 	}
 	// 1GB promotion absorbs 2MB regions without passing through sampleIdle,
 	// and pressure demotion splits them behind the engine's back — both

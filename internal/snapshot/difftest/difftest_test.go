@@ -29,7 +29,7 @@ func TestResumeEquivalenceAcrossGoldenMatrix(t *testing.T) {
 	if raceEnabled {
 		t.Skip("byte-identical output comparison adds no race coverage; skipped under -race to stay within the package test timeout")
 	}
-	for _, fig := range []string{"fig1", "fig5", "fig6", "fig7", "figfrag"} {
+	for _, fig := range []string{"fig1", "fig5", "fig6", "fig7", "figfrag", "figtenant"} {
 		fig := fig
 		t.Run(fig, func(t *testing.T) {
 			golden := filepath.Join("..", "..", "experiments", "testdata", fig+"_quick.golden")

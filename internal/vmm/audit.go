@@ -125,14 +125,47 @@ func (m *Machine) Audit() []string {
 	}
 
 	// Pressure demotions flow through Demote2M, so every one of them is
-	// also in some process's Demotions tally.
+	// also in some live process's Demotions tally or in the reaped tallies
+	// of an exited one.
 	var demTotal uint64
 	for _, p := range m.procs {
 		demTotal += p.Demotions
 	}
-	if m.PressureDemotions > demTotal {
-		bad = append(bad, fmt.Sprintf("machine counts %d pressure demotions but processes only recorded %d demotions total",
-			m.PressureDemotions, demTotal))
+	if m.PressureDemotions > demTotal+m.reaped.Demotions {
+		bad = append(bad, fmt.Sprintf("machine counts %d pressure demotions but live processes recorded %d and reaped %d demotions total",
+			m.PressureDemotions, demTotal, m.reaped.Demotions))
+	}
+
+	// NUMA ledgers must only reference live processes, and every placement
+	// must lie inside a live VMA of its process — exit/exec teardown erases
+	// both, so a surviving entry is a leak.
+	if m.numa != nil {
+		liveByID := make(map[int]*Process, len(m.procs))
+		for _, p := range m.procs {
+			liveByID[p.ID] = p
+		}
+		for k := range m.numa.placement {
+			p, ok := liveByID[k.pid]
+			if !ok {
+				bad = append(bad, fmt.Sprintf("numa placement %#x references dead pid %d", uint64(k.base), k.pid))
+				continue
+			}
+			inVMA := false
+			for _, v := range p.vmas {
+				if k.base >= v.base2M && k.base < v.r.End {
+					inVMA = true
+					break
+				}
+			}
+			if !inVMA {
+				bad = append(bad, fmt.Sprintf("proc %s: numa placement %#x outside every VMA", p.Name, uint64(k.base)))
+			}
+		}
+		for pid := range m.numa.regionsPlaced {
+			if _, ok := liveByID[pid]; !ok {
+				bad = append(bad, fmt.Sprintf("numa region counter references dead pid %d", pid))
+			}
+		}
 	}
 
 	if a, ok := m.policy.(PolicyAuditor); ok {

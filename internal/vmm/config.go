@@ -73,6 +73,10 @@ type Config struct {
 	// watermark pressure. The zero value disables all of it, preserving the
 	// static fragment-once model.
 	Pressure PressureConfig
+	// Lifecycle configures process lifecycle churn: spawn/exec/exit of
+	// machine-owned background processes at tick boundaries, driven by a
+	// dedicated deterministic RNG stream. The zero value disables it.
+	Lifecycle LifecycleConfig
 	// Shards bounds the number of OS threads (goroutines) one Run may use
 	// to execute independent job groups concurrently. 0 or 1 keeps the
 	// historical serial loop. Sharding only engages when the job set

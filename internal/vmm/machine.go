@@ -70,6 +70,26 @@ type Machine struct {
 	// stream position.
 	pressRNG *reprand.Rand
 
+	// lifeRNG drives process lifecycle churn (see lifecycle.go); its own
+	// lazily-seeded stream, so enabling churn never perturbs the pressure
+	// or fragmentation draws.
+	lifeRNG *reprand.Rand
+
+	// nextPID is the monotonically increasing process ID allocator. Never
+	// reused after an exit: a recycled PID could revalidate proc-tagged
+	// translation-table slots armed by the dead process.
+	nextPID int
+
+	// lifecycle counts spawn/exit/exec events; reaped accumulates the
+	// counters of exited processes so machine-wide conservation invariants
+	// survive process death.
+	lifecycle LifecycleStats
+	reaped    ReapedTallies
+
+	// running is the active Run's job list (nil outside Run); lifecycle
+	// teardown refuses processes with unfinished jobs here.
+	running []*liveJob
+
 	// promotionLog records every successful 2MB promotion with its
 	// simulated timestamp — the candidate trace of the paper's two-step
 	// methodology (offline simulation writes it; replay consumes it).
@@ -167,9 +187,11 @@ func (m *Machine) Policy() Policy { return m.policy }
 // Now returns the global simulated access clock.
 func (m *Machine) Now() uint64 { return m.accessCount }
 
-// AddProcess registers an address space built from the given VMAs.
+// AddProcess registers an address space built from the given VMAs. IDs come
+// from the machine's monotonic PID allocator and are never reused.
 func (m *Machine) AddProcess(name string, ranges []mem.Range, baseCPA float64) *Process {
-	p := newProcess(len(m.procs), name, ranges, baseCPA)
+	p := newProcess(m.nextPID, name, ranges, baseCPA)
+	m.nextPID++
 	m.procs = append(m.procs, p)
 	return p
 }

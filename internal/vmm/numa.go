@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"fmt"
+	"math"
 
 	"pccsim/internal/mem"
 )
@@ -96,7 +97,8 @@ func newNUMAState(cfg NUMAConfig) *numaState {
 }
 
 // place returns the node for the region containing a, assigning it on first
-// touch per the policy.
+// touch: the VMA's memory policy decides if one is installed, otherwise the
+// machine-wide placement policy applies.
 func (n *numaState) place(p *Process, a mem.VirtAddr) int {
 	k := demotePlacementKey{pid: p.ID, base: mem.PageBase(a, mem.Page2M)}
 	if node, ok := n.placement[k]; ok {
@@ -104,25 +106,73 @@ func (n *numaState) place(p *Process, a mem.VirtAddr) int {
 	}
 	idx := n.regionsPlaced[p.ID]
 	n.regionsPlaced[p.ID] = idx + 1
-	var node int
-	switch n.cfg.Policy {
-	case NUMABind:
-		node = p.HomeNode
-	case NUMAInterleave:
-		node = idx % n.cfg.Nodes
-	case NUMALocalFirst:
-		// Home node until LocalShare of the footprint's regions is
-		// placed there, then spill round-robin across the others.
-		totalRegions := int(p.Footprint() / uint64(mem.Page2M))
-		localCap := int(n.cfg.LocalShare * float64(totalRegions))
-		if idx < localCap {
-			node = p.HomeNode
-		} else {
-			node = (p.HomeNode + 1 + idx%(n.cfg.Nodes-1)) % n.cfg.Nodes
-		}
-	}
+	node := n.chooseNode(p, a, idx)
 	n.placement[k] = node
 	return node
+}
+
+// chooseNode is the first-touch placement decision for p's idx-th region.
+// A non-default per-VMA memory policy (mbind semantics) overrides the
+// machine-wide policy.
+func (n *numaState) chooseNode(p *Process, a mem.VirtAddr, idx int) int {
+	if v := p.vmaOf(a); v != nil && v.memPolicy.Mode != MemPolicyDefault {
+		pol := v.memPolicy
+		switch pol.Mode {
+		case MemPolicyBind:
+			return pol.Nodes[0]
+		case MemPolicyInterleave:
+			return pol.Nodes[idx%len(pol.Nodes)]
+		case MemPolicyPreferred:
+			// A hint, not a guarantee: the preferred node fills until the
+			// LocalShare capacity cap, then regions spill like local-first.
+			if idx < n.localCap(p) {
+				return pol.Nodes[0]
+			}
+			return n.spill(pol.Nodes[0], idx)
+		}
+	}
+	switch n.cfg.Policy {
+	case NUMAInterleave:
+		return idx % n.cfg.Nodes
+	case NUMALocalFirst:
+		// Home node until LocalShare of the process's regions is placed
+		// there, then spill round-robin across the others.
+		if idx < n.localCap(p) {
+			return p.HomeNode
+		}
+		return n.spill(p.HomeNode, idx)
+	}
+	return p.HomeNode // NUMABind
+}
+
+// localCap is how many regions fit on the home/preferred node before
+// local-first placement spills. The cap rounds UP from the real per-VMA 2MB
+// slot counts: the old Footprint()/2MB integer division truncated partial
+// regions, so a sub-2MB process had capacity zero and placed everything
+// remotely even at LocalShare 1.0.
+func (n *numaState) localCap(p *Process) int {
+	return int(math.Ceil(n.cfg.LocalShare * float64(p.regions2M())))
+}
+
+// spill round-robins a region across every node but home.
+func (n *numaState) spill(home, idx int) int {
+	return (home + 1 + idx%(n.cfg.Nodes-1)) % n.cfg.Nodes
+}
+
+// forget erases every placement ledger entry for a dead PID; exit and exec
+// teardown call it so RemoteShare and the interleave/local-first counters
+// never read an exited process's placements (the leak Machine.Audit now
+// flags).
+func (n *numaState) forget(pid int) {
+	if n == nil {
+		return
+	}
+	for k := range n.placement {
+		if k.pid == pid {
+			delete(n.placement, k)
+		}
+	}
+	delete(n.regionsPlaced, pid)
 }
 
 // penalty returns the extra access cost for p touching a.

@@ -103,3 +103,117 @@ func TestNUMAPolicyString(t *testing.T) {
 		}
 	}
 }
+
+// TestNUMALocalFirstSmallFootprintStaysLocal is the regression test for the
+// local-capacity truncation bug: the cap was computed as
+// LocalShare × (Footprint()/2MB) with integer division, so a process whose
+// footprint was not a 2MB multiple lost capacity — a sub-2MB process
+// truncated to zero local regions and placed *everything* remotely at
+// LocalShare 1.0, and a 3MB process spilled its second region. The cap now
+// rounds up from the real per-VMA region counts.
+func TestNUMALocalFirstSmallFootprintStaysLocal(t *testing.T) {
+	cfg := numaConfig(NUMALocalFirst)
+	cfg.NUMA.LocalShare = 1.0
+
+	// Sub-2MB footprint: one region, which must stay local.
+	start := mem.VirtAddr(16 << 20)
+	small := []mem.Range{{Start: start, End: start + 1<<20}} // 1MB
+	m := NewMachine(cfg, nil)
+	p := m.AddProcess("small", small, 10)
+	m.Run(&Job{Proc: p, Stream: seqStream(small[0], 1)})
+	if got := m.RemoteShare(p); got != 0 {
+		t.Errorf("sub-2MB process at full local share: remote = %f, want 0", got)
+	}
+
+	// 3MB footprint: two regions (one full, one partial), both local.
+	three := []mem.Range{{Start: start, End: start + 3<<20}}
+	m2 := NewMachine(cfg, nil)
+	p2 := m2.AddProcess("three", three, 10)
+	m2.Run(&Job{Proc: p2, Stream: seqStream(three[0], 1)})
+	if got := m2.RemoteShare(p2); got != 0 {
+		t.Errorf("3MB process at full local share: remote = %f, want 0", got)
+	}
+}
+
+// TestNUMAForgetErasesLedgers pins the exit-path cleanup: placements and the
+// region counter of an exited process must leave the NUMA ledgers (the
+// dead-PID leak this PR fixes), and Machine.Audit must flag a leaked entry.
+func TestNUMAForgetErasesLedgers(t *testing.T) {
+	m := NewMachine(numaConfig(NUMABind), nil)
+	p := m.AddProcess("t", testVMA(2), 10)
+	m.Run(&Job{Proc: p, Stream: seqStream(p.Ranges()[0], 1)})
+	if len(m.numa.placement) == 0 || m.numa.regionsPlaced[p.ID] == 0 {
+		t.Fatal("run must have placed regions")
+	}
+	if err := m.ExitProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.numa.placement) != 0 || len(m.numa.regionsPlaced) != 0 {
+		t.Errorf("ledgers survive exit: %d placements, %d counters",
+			len(m.numa.placement), len(m.numa.regionsPlaced))
+	}
+	if bad := m.Audit(); len(bad) > 0 {
+		t.Errorf("audit after exit: %v", bad)
+	}
+	// Re-leak an entry by hand: the auditor must catch it.
+	m.numa.placement[demotePlacementKey{pid: p.ID, base: p.Ranges()[0].Start}] = 0
+	if bad := m.Audit(); len(bad) == 0 {
+		t.Error("audit must flag a placement for a dead PID")
+	}
+}
+
+// TestCheckpointResumeNUMAInterleaveMidPlacement: a checkpoint cut while
+// first-touch interleave placement is still in flight must restore the
+// placement map and per-process region counters exactly — a lost counter
+// would re-place the remaining regions starting from index 0 and skew the
+// node pattern.
+func TestCheckpointResumeNUMAInterleaveMidPlacement(t *testing.T) {
+	s := simSetup{
+		cfg: numaConfig(NUMAInterleave),
+		build: func(m *Machine) []*Job {
+			p := m.AddProcess("t", testVMA(4), 10)
+			return []*Job{{Proc: p, Stream: seqStream(p.Ranges()[0], 2)}}
+		},
+	}
+	// 4 regions x 512 pages x 2 rounds = 8192 accesses; placements complete
+	// at 4096. Cuts land mid-placement (100, 1500, 3500), at the boundary,
+	// after it, and past the end.
+	checkResumeEquivalence(t, s, []uint64{100, 1_500, 3_500, 4_096, 6_000, 9_000})
+}
+
+// TestCheckpointResumeNUMALocalFirstMidPlacement: same contract under
+// local-first spill plus per-VMA policies — the restored machine must
+// continue the home-fill/spill sequence and honour the mbind overrides from
+// the point of the cut.
+func TestCheckpointResumeNUMALocalFirstMidPlacement(t *testing.T) {
+	cfg := numaConfig(NUMALocalFirst)
+	cfg.NUMA.LocalShare = 0.5
+	cfg.Cores = 2
+	s := simSetup{
+		cfg: cfg,
+		build: func(m *Machine) []*Job {
+			p, err := m.AddTenant(TenantConfig{Name: "a", Ranges: testVMA(4), BaseCPA: 10})
+			if err != nil {
+				panic(err)
+			}
+			start := mem.VirtAddr(256 << 20)
+			q, err := m.AddTenant(TenantConfig{
+				Name:    "b",
+				Ranges:  []mem.Range{{Start: start, End: start + 4<<21}},
+				BaseCPA: 10,
+				MemPolicy: VMAMemPolicy{
+					Mode:  MemPolicyInterleave,
+					Nodes: []int{1, 0},
+				},
+			})
+			if err != nil {
+				panic(err)
+			}
+			return []*Job{
+				{Proc: p, Stream: seqStream(p.Ranges()[0], 2), Cores: []int{0}},
+				{Proc: q, Stream: seqStream(q.Ranges()[0], 2), Cores: []int{1}},
+			}
+		},
+	}
+	checkResumeEquivalence(t, s, []uint64{100, 1_500, 3_500, 4_096, 6_000, 9_000})
+}

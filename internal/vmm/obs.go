@@ -45,6 +45,12 @@ func (m *Machine) Metrics() obs.Snapshot {
 	s.Add("machine.accesses", float64(m.accessCount))
 	s.Add("machine.promotion_failures", float64(m.PromotionFailures))
 	s.Add("machine.pressure_demotions", float64(m.PressureDemotions))
+	s.Add("machine.lifecycle.spawns", float64(m.lifecycle.Spawns))
+	s.Add("machine.lifecycle.exits", float64(m.lifecycle.Exits))
+	s.Add("machine.lifecycle.execs", float64(m.lifecycle.Execs))
+	s.Add("machine.lifecycle.promotions.2m", float64(m.lifecycle.Promotions2M))
+	s.Add("machine.reaped.promotions.2m", float64(m.reaped.Promotions2M))
+	s.Add("machine.reaped.demotions", float64(m.reaped.Demotions))
 	s.Add("machine.background_cycles", math.Round(m.BackgroundCycles))
 	s.Add("machine.events", float64(m.events.Total()))
 	for _, c := range m.cores {

@@ -37,6 +37,10 @@ type vma struct {
 	// base2M is r.Start rounded down to a 2MB boundary: the address slot 0
 	// of lastUse2M corresponds to.
 	base2M mem.VirtAddr
+	// memPolicy is the VMA's NUMA memory policy (mbind semantics); the zero
+	// value defers to the machine-wide placement policy. Consulted only at
+	// first-touch placement, never on the access hot path.
+	memPolicy VMAMemPolicy
 }
 
 func (v *vma) stateOf(a mem.VirtAddr) pageState {
@@ -108,6 +112,12 @@ type Process struct {
 	// Run (max cycles across its cores at that instant).
 	RuntimeCycles float64
 	finished      bool
+
+	// churn marks machine-owned lifecycle processes (spawned by the
+	// lifecycle tick, never bound to a Run job). Snapshot restore
+	// reconstructs churn processes from serialized geometry instead of
+	// expecting the builder to re-register them.
+	churn bool
 }
 
 // newProcess builds an empty address space over the given VMAs.
@@ -120,6 +130,17 @@ func newProcess(id int, name string, ranges []mem.Range, baseCPA float64) *Proce
 		huge2M:  map[mem.VirtAddr]uint64{},
 		huge1G:  map[mem.VirtAddr]uint64{},
 	}
+	p.setVMAs(ranges)
+	return p
+}
+
+// setVMAs (re)builds the address space geometry over the given VMAs. The
+// caller must have emptied the previous address space (teardown) first:
+// state arrays, the footprint and the lookup cache are replaced wholesale.
+func (p *Process) setVMAs(ranges []mem.Range) {
+	p.vmas = nil
+	p.footprint = 0
+	p.lastVMA = nil
 	for _, r := range ranges {
 		if !mem.Aligned(r.Start, mem.Page4K) || !mem.Aligned(r.End, mem.Page4K) {
 			panic(fmt.Sprintf("vmm: VMA %v not page aligned", r))
@@ -134,12 +155,41 @@ func newProcess(id int, name string, ranges []mem.Range, baseCPA float64) *Proce
 		})
 		p.footprint += r.Len()
 	}
-	return p
+}
+
+// validateRanges is the error-returning form of newProcess's alignment
+// panic, for API paths (tenants, exec, snapshot restore) that must reject
+// bad geometry gracefully.
+func validateRanges(ranges []mem.Range) error {
+	for _, r := range ranges {
+		if r.End <= r.Start {
+			return fmt.Errorf("VMA %#x-%#x is empty or inverted", uint64(r.Start), uint64(r.End))
+		}
+		if !mem.Aligned(r.Start, mem.Page4K) || !mem.Aligned(r.End, mem.Page4K) {
+			return fmt.Errorf("VMA %#x-%#x not page aligned", uint64(r.Start), uint64(r.End))
+		}
+	}
+	return nil
 }
 
 // Footprint returns the total VMA bytes (the denominator for promotion
 // budgets and utility curves).
 func (p *Process) Footprint() uint64 { return p.footprint }
+
+// regions2M returns the exact number of 2MB regions the address space
+// spans: the sum of the per-VMA lastUse2M slot counts, each of which
+// already rounds partial regions up. Footprint()/2MB under-counts whenever
+// a VMA is not a whole multiple of 2MB — the NUMA local-first capacity bug.
+func (p *Process) regions2M() int {
+	n := 0
+	for _, v := range p.vmas {
+		n += len(v.lastUse2M)
+	}
+	return n
+}
+
+// IsChurn reports whether p is a machine-owned lifecycle (churn) process.
+func (p *Process) IsChurn() bool { return p.churn }
 
 // HugeBytes returns the bytes currently backed by huge pages.
 func (p *Process) HugeBytes() uint64 { return p.hugeBytes }

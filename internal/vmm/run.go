@@ -177,11 +177,13 @@ func (m *Machine) Run(jobs ...*Job) RunResult {
 		}
 	}
 
+	m.running = live
 	if groupOf, groups := m.shardGroups(live); groups > 1 {
 		m.runSharded(live, groupOf, groups)
 	} else {
 		m.runSerial(live)
 	}
+	m.running = nil
 
 	if m.cfg.AuditEveryTick {
 		m.auditNow("at end of run")
@@ -545,6 +547,7 @@ func (m *Machine) runSharded(live []*liveJob, groupOf []int, groups int) {
 			barrier()
 			m.accessCount = globalNow
 			m.pressureTick()
+			m.lifecycleTick()
 			if m.policy != nil {
 				m.policy.Tick(m)
 			}
@@ -648,6 +651,7 @@ func (m *Machine) runBatch(ex *executor, j *Job, batch []trace.Access) {
 			m.accessCount = ex.now
 			ex.flushAllocs()
 			m.pressureTick()
+			m.lifecycleTick()
 			if m.policy != nil {
 				m.policy.Tick(m)
 			}

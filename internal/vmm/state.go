@@ -82,13 +82,23 @@ type HugePageState struct {
 	At   uint64
 }
 
-// ProcessState is one address space's serializable state.
+// ProcessState is one address space's serializable state. Ranges carries
+// the VMA geometry: for construction-registered processes it is validated
+// against the builder's AddProcess calls; for machine-spawned churn
+// processes (Churn true) it is the construction input — restore rebuilds
+// the address space from it, since no builder re-registers churn
+// processes. VMAPolicies is the per-VMA NUMA memory policy, index-aligned
+// with VMAs (nil in pre-lifecycle snapshots: all default).
 type ProcessState struct {
 	ID   int
 	Name string
 
 	Table ptw.TableState
 	VMAs  []VMAState
+
+	Churn       bool
+	Ranges      []mem.Range
+	VMAPolicies []VMAMemPolicy
 
 	BaseCPA      float64
 	HomeNode     int
@@ -158,6 +168,16 @@ type MachineState struct {
 	// the lazily-initialized state.
 	PressureRNGSteps uint64
 
+	// LifecycleRNGSteps pins the lifecycle churn RNG stream position, with
+	// the same never-drawn convention. NextPID is the monotonic process ID
+	// allocator (0 in pre-lifecycle snapshots: restore derives it from the
+	// registered processes). Lifecycle and Reaped carry the churn event
+	// counters and the exited-process tallies.
+	LifecycleRNGSteps uint64
+	NextPID           int
+	Lifecycle         LifecycleStats
+	Reaped            ReapedTallies
+
 	PromotionLog []PromotionEvent
 	Events       obs.EventLogState
 
@@ -188,6 +208,12 @@ func (m *Machine) State() MachineState {
 	if m.pressRNG != nil {
 		s.PressureRNGSteps = m.pressRNG.Steps()
 	}
+	if m.lifeRNG != nil {
+		s.LifecycleRNGSteps = m.lifeRNG.Steps()
+	}
+	s.NextPID = m.nextPID
+	s.Lifecycle = m.lifecycle
+	s.Reaped = m.reaped
 	for _, c := range m.cores {
 		cs := CoreState{
 			TLB:         c.TLB.State(),
@@ -257,6 +283,8 @@ func processState(p *Process) ProcessState {
 	ps := ProcessState{
 		ID:            p.ID,
 		Name:          p.Name,
+		Churn:         p.churn,
+		Ranges:        p.Ranges(),
 		Table:         p.Table.State(),
 		BaseCPA:       p.BaseCPA,
 		HomeNode:      p.HomeNode,
@@ -282,6 +310,7 @@ func processState(p *Process) ProcessState {
 			vs.State[i] = uint8(st)
 		}
 		ps.VMAs = append(ps.VMAs, vs)
+		ps.VMAPolicies = append(ps.VMAPolicies, v.memPolicy.clone())
 	}
 	return ps
 }
@@ -314,8 +343,29 @@ func (m *Machine) RestoreState(s MachineState) error {
 	if len(s.Cores) != len(m.cores) {
 		return fmt.Errorf("vmm: state has %d cores, machine has %d", len(s.Cores), len(m.cores))
 	}
-	if len(s.Procs) != len(m.procs) {
-		return fmt.Errorf("vmm: state has %d processes, machine has %d", len(s.Procs), len(m.procs))
+	// Construction-registered processes form a prefix of the state's
+	// process list and must match the machine 1:1; machine-spawned churn
+	// processes form the suffix and are reconstructed from their serialized
+	// geometry (the builder cannot re-register them).
+	for _, p := range m.procs {
+		if p.churn {
+			return fmt.Errorf("vmm: restore requires a freshly constructed machine (found churn process %q)", p.Name)
+		}
+	}
+	nStatic := len(s.Procs)
+	for i, ps := range s.Procs {
+		if ps.Churn {
+			nStatic = i
+			break
+		}
+	}
+	for _, ps := range s.Procs[nStatic:] {
+		if !ps.Churn {
+			return fmt.Errorf("vmm: state process %q is construction-registered but follows a churn process", ps.Name)
+		}
+	}
+	if nStatic != len(m.procs) {
+		return fmt.Errorf("vmm: state has %d construction-registered processes, machine has %d", nStatic, len(m.procs))
 	}
 	wantPolicy := ""
 	if m.policy != nil {
@@ -352,10 +402,24 @@ func (m *Machine) RestoreState(s MachineState) error {
 		c.clearL0()
 	}
 
-	for i, ps := range s.Procs {
-		if err := restoreProcess(m.procs[i], ps); err != nil {
+	for i, ps := range s.Procs[:nStatic] {
+		if err := restoreProcess(m, m.procs[i], ps); err != nil {
 			return err
 		}
+	}
+	for _, ps := range s.Procs[nStatic:] {
+		if len(ps.Ranges) == 0 {
+			return fmt.Errorf("vmm: churn process %q has no serialized VMA geometry", ps.Name)
+		}
+		if err := validateRanges(ps.Ranges); err != nil {
+			return fmt.Errorf("vmm: churn process %q: %w", ps.Name, err)
+		}
+		p := newProcess(ps.ID, ps.Name, ps.Ranges, ps.BaseCPA)
+		p.churn = true
+		if err := restoreProcess(m, p, ps); err != nil {
+			return err
+		}
+		m.procs = append(m.procs, p)
 	}
 
 	if err := m.phys.SetState(s.Phys); err != nil {
@@ -385,6 +449,22 @@ func (m *Machine) RestoreState(s MachineState) error {
 		m.pressRNG.Skip(s.PressureRNGSteps)
 	} else {
 		m.pressRNG = nil
+	}
+	if s.LifecycleRNGSteps > 0 {
+		m.lifeRNG = reprand.New(m.cfg.Seed*1_000_003 + 29)
+		m.lifeRNG.Skip(s.LifecycleRNGSteps)
+	} else {
+		m.lifeRNG = nil
+	}
+	m.lifecycle = s.Lifecycle
+	m.reaped = s.Reaped
+	// Pre-lifecycle snapshots carry NextPID 0; never hand out an ID a
+	// restored process already holds.
+	m.nextPID = s.NextPID
+	for _, p := range m.procs {
+		if p.ID >= m.nextPID {
+			m.nextPID = p.ID + 1
+		}
 	}
 
 	if sp, ok := m.policy.(StatefulPolicy); ok {
@@ -439,12 +519,33 @@ func restoreOptional[T any, S any](core int, name string, dst *T, st *S, set fun
 	return nil
 }
 
-func restoreProcess(p *Process, ps ProcessState) error {
+func restoreProcess(m *Machine, p *Process, ps ProcessState) error {
 	if ps.ID != p.ID || ps.Name != p.Name {
 		return fmt.Errorf("vmm: state process %d is %d/%q, machine has %d/%q", ps.ID, ps.ID, ps.Name, p.ID, p.Name)
 	}
 	if len(ps.VMAs) != len(p.vmas) {
 		return fmt.Errorf("vmm: proc %s: state has %d VMAs, machine has %d", p.Name, len(ps.VMAs), len(p.vmas))
+	}
+	if ps.Ranges != nil {
+		if len(ps.Ranges) != len(p.vmas) {
+			return fmt.Errorf("vmm: proc %s: state has %d VMA ranges, machine has %d", p.Name, len(ps.Ranges), len(p.vmas))
+		}
+		for i, r := range ps.Ranges {
+			if p.vmas[i].r != r {
+				return fmt.Errorf("vmm: proc %s VMA %d: state range %#x-%#x, machine %#x-%#x",
+					p.Name, i, uint64(r.Start), uint64(r.End), uint64(p.vmas[i].r.Start), uint64(p.vmas[i].r.End))
+			}
+		}
+	}
+	if ps.VMAPolicies != nil {
+		if len(ps.VMAPolicies) != len(p.vmas) {
+			return fmt.Errorf("vmm: proc %s: state has %d VMA policies, machine has %d VMAs", p.Name, len(ps.VMAPolicies), len(p.vmas))
+		}
+		for i, pol := range ps.VMAPolicies {
+			if err := pol.Validate(m.cfg.NUMA.Nodes); err != nil {
+				return fmt.Errorf("vmm: proc %s VMA %d: %w", p.Name, i, err)
+			}
+		}
 	}
 	for vi, vs := range ps.VMAs {
 		v := p.vmas[vi]
@@ -469,6 +570,9 @@ func restoreProcess(p *Process, ps ProcessState) error {
 		}
 		copy(v.touched, vs.Touched)
 		copy(v.lastUse2M, vs.LastUse2M)
+		if ps.VMAPolicies != nil {
+			v.memPolicy = ps.VMAPolicies[vi].clone()
+		}
 	}
 	p.BaseCPA = ps.BaseCPA
 	p.HomeNode = ps.HomeNode
